@@ -1,0 +1,29 @@
+"""Shared benchmark utilities.
+
+Every benchmark wraps one experiment driver from ``repro.experiments``:
+`pytest benchmarks/ --benchmark-only` regenerates each paper table/figure,
+prints the rendered rows/series, and also saves them under ``results/`` so
+the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a rendered experiment and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    The drivers are deterministic, minutes-scale pipelines; multiple
+    benchmarking rounds would only repeat identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,16 @@
+"""Bench: solver design ablations (scheduler, chunk size, lookback, window)."""
+
+from conftest import report, run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_solver(benchmark):
+    result = run_once(benchmark, ablations.run)
+    report("ablations", result.render())
+    sched = {r.setting: r for r in result.study("scheduler")}
+    # The CP scheduler never preloads more than the greedy fallback.
+    assert sched["CP-SAT"].preload_pct <= sched["greedy-only"].preload_pct + 1.0
+    look = {r.setting: r for r in result.study("lookback")}
+    # Longer horizons can only reduce (or hold) forced preloading.
+    assert look["32"].preload_pct <= look["4"].preload_pct + 1.0

@@ -1,0 +1,16 @@
+"""Bench: appendix — fp32 configuration shows the same trends as fp16."""
+
+from conftest import report, run_once
+
+from repro.experiments import appendix_fp32
+
+
+def test_appendix_fp32(benchmark):
+    result = run_once(benchmark, appendix_fp32.run)
+    report("appendix_fp32", result.render())
+    for model in {r.model for r in result.rows}:
+        fp16 = result.row(model, "fp16")
+        fp32 = result.row(model, "fp32")
+        assert fp32.speedup > 1.0 and fp16.speedup > 1.0       # trends hold
+        assert fp32.mem_reduction > 1.0
+        assert fp32.flashmem_mb > fp16.flashmem_mb             # 2x footprints

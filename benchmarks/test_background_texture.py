@@ -1,0 +1,15 @@
+"""Bench: background §2.1 claim — texture path vs unified-memory path."""
+
+from conftest import report, run_once
+
+from repro.experiments import background_texture
+
+
+def test_background_texture(benchmark):
+    result = run_once(benchmark, background_texture.run)
+    report("background_texture", result.render())
+    # Romou's headline: up to ~3.5x from texture-backed execution.
+    assert 2.0 <= result.max_speedup <= 6.0
+    by_pattern = {c.pattern.value: c for c in result.comparisons}
+    strided = by_pattern["column_strided"]
+    assert strided.texture_hit_rate > strided.linear_hit_rate

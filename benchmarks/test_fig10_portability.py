@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 10 — portability across three devices."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_portability(benchmark):
+    result = run_once(benchmark, fig10.run)
+    report("fig10", result.render())
+    for row in result.rows:
+        assert not row.flashmem_oom  # FlashMem runs everywhere
+        if not row.smem_oom and row.smem_ms is not None:
+            assert row.flashmem_ms < row.smem_ms
+    # GPTN-1.3B OOMs under SmartMem on the 6-8 GB devices (paper's claim).
+    ooms = {(r.device, r.model): r.smem_oom for r in result.rows}
+    assert ooms[("Pixel 8", "GPTN-1.3B")]
+    assert ooms[("Xiaomi Mi 6", "GPTN-1.3B")]
+    assert not ooms[("OnePlus 11", "GPTN-1.3B")]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 2 — per-operator overlap sensitivity curves."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_overlap_sensitivity(benchmark):
+    result = run_once(benchmark, fig2.run)
+    report("fig2", result.render())
+    t20 = {c.op: c.threshold_20 for c in result.curves}
+    assert t20["Softmax"] is not None and t20["LayerNorm"] is not None
+    assert t20["Matmul"] is None or t20["Matmul"] > t20["Softmax"]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4 — profiling + GBT latency model accuracy."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_latency_model(benchmark):
+    result = run_once(benchmark, fig4.run)
+    report("fig4", result.render())
+    assert result.holdout_mean_rel_error < 0.25

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 6 — multi-model FIFO memory over time."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_multimodel(benchmark):
+    result = run_once(benchmark, fig6.run)
+    text = result.render()
+    # Also emit the resampled series the figure plots.
+    flash_series = result.series("FlashMem", resolution_ms=2000.0)
+    mnn_series = result.series("MNN", resolution_ms=2000.0)
+    series_txt = "\nFlashMem series (t ms, bytes): " + str(flash_series[:20])
+    series_txt += "\nMNN series (t ms, bytes): " + str(mnn_series[:20])
+    report("fig6", text + series_txt)
+    assert result.peak_ratio > 1.5
+    assert result.mnn.total_ms > result.flashmem.total_ms

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 7 — per-optimization breakdown vs SmartMem."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_breakdown(benchmark):
+    result = run_once(benchmark, fig7.run)
+    report("fig7", result.render())
+    # Cumulative stacking: each added optimisation keeps or improves latency.
+    for model in {r.model for r in result.rows}:
+        steps = [r for r in result.rows if r.model == model]
+        speedups = [r.speedup_vs_smem for r in steps]
+        assert speedups[0] > 1.0              # OPG alone already wins
+        assert speedups[-1] >= speedups[0] * 0.95  # full pipeline at least holds

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 8 — memory/latency trade-off vs preload ratio."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_tradeoff(benchmark):
+    result = run_once(benchmark, fig8.run)
+    report("fig8", result.render())
+    for model in {p.model for p in result.points}:
+        series = result.series(model)
+        assert series[-1].exec_ms < series[0].exec_ms     # preload lowers exec
+        assert series[-1].avg_memory_mb > series[0].avg_memory_mb

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 9 — FlashMem vs naive overlap strategies."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9_naive_overlap(benchmark):
+    result = run_once(benchmark, fig9.run)
+    report("fig9", result.render())
+    assert max(r.always_next_slowdown for r in result.rows) > 1.3
+    for row in result.rows:
+        assert row.always_next_slowdown >= row.same_next_slowdown * 0.95

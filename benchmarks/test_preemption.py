@@ -1,0 +1,15 @@
+"""Bench: extension — preemptive multi-DNN scheduling episode."""
+
+from conftest import report, run_once
+
+from repro.experiments import preemption
+
+
+def test_preemption(benchmark):
+    result = run_once(benchmark, preemption.run)
+    report("preemption", result.render())
+    flash = result.row("FlashMem")
+    smem = result.row("SMem (evict+restart)")
+    # FlashMem's small resident state makes preemption cheap on both axes.
+    assert flash.peak_mb < smem.peak_mb
+    assert flash.session_ms < smem.session_ms

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 — preloading memory/latency motivation."""
+
+from conftest import report, run_once
+
+from repro.experiments import table1
+
+
+def test_table1_motivation(benchmark):
+    result = run_once(benchmark, table1.run)
+    report("table1", result.render())
+    for row in result.rows:
+        # The motivating pathology: initialization dominates inference.
+        assert row.load_ms + row.trans_ms > row.infer_ms

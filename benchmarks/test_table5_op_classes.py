@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 5 — operator classification + measured capacities."""
+
+from conftest import report, run_once
+
+from repro.experiments import table5
+
+
+def test_table5_op_classes(benchmark):
+    result = run_once(benchmark, table5.run)
+    report("table5", result.render())
+    caps = {op: mb for op, _, mb in result.measured_rows}
+    assert caps["Matmul"] > caps["Add"] > caps["Softmax"] == 0

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 6 — model characterization, paper vs built."""
+
+from conftest import report, run_once
+
+from repro.experiments import table6
+
+
+def test_table6_model_zoo(benchmark):
+    result = run_once(benchmark, table6.run)
+    report("table6", result.render())
+    assert len(result.rows) == 11
+    for row in result.rows:
+        assert abs(row.built_params_m - row.paper_params_m) / row.paper_params_m < 0.30

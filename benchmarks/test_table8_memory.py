@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 8 — average memory, all models x frameworks.
+
+Paper geo-mean reductions vs FlashMem: 3.2x/2.0x/8.4x/7.9x/3.4x/3.5x.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import table8
+
+
+def test_table8_memory(benchmark):
+    result = run_once(benchmark, table8.run)
+    report("table8", result.render())
+    assert len(result.rows) == 11
+    for row in result.rows:
+        if row.mem_redt is not None:
+            assert row.mem_redt > 1.0
+        for fw, mb in row.baselines.items():
+            if mb is not None:
+                assert mb > row.flashmem_mb
+    # Convolution models save less than large transformers (paper §5.2).
+    redt = {r.model: r.mem_redt for r in result.rows}
+    assert redt["SD-UNet"] < redt["GPTN-1.3B"]
+    assert redt["DepA-S"] < redt["DeepViT"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 9 — power and energy consumption."""
+
+from conftest import report, run_once
+
+from repro.experiments import table9
+
+
+def test_table9_energy(benchmark):
+    result = run_once(benchmark, table9.run)
+    report("table9", result.render())
+    # Paper: FlashMem saves 83-96% energy vs the baselines.
+    for fw in ("MNN", "SMem"):
+        saving = result.savings_vs(fw, "DeepViT")
+        assert saving is not None and saving > 0.5
+    saving_sd = result.savings_vs("SMem", "SD-UNet")
+    assert saving_sd is not None and saving_sd > 0.5

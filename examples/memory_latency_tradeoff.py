@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Memory/latency trade-off: sweeping the preload ratio (paper Figure 8).
+
+FlashMem exposes a continuum between "stream everything" (lowest memory,
+execution waits on disk) and "preload everything" (fast execution, highest
+memory).  The knob is the target preload ratio, which the solver derives
+from λ and M_peak; here we drive it directly.
+
+Run:  python examples/memory_latency_tradeoff.py [model]
+"""
+
+import sys
+
+from repro import FlashMem, FlashMemConfig, load_model, oneplus_12
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "GPTN-S"
+    device = oneplus_12()
+    graph = load_model(model_name)
+    fm = FlashMem(FlashMemConfig.memory_priority())
+    capacity = fm.capacity_model(device)
+
+    print(f"{model_name} on {device.name} — preload ratio sweep\n")
+    print(f"{'target':>7s} {'achieved':>9s} {'integrated':>11s} {'exec phase':>11s} "
+          f"{'avg mem':>8s} {'peak mem':>9s}")
+    for ratio in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        compiled = fm.compile(graph, device, capacity=capacity, target_preload_ratio=ratio)
+        result = fm.run(compiled)
+        exec_phase = result.latency_ms - result.details["preload_end_ms"]
+        print(
+            f"{ratio:7.1f} {compiled.preload_ratio:9.2f} "
+            f"{result.latency_ms:9.0f}ms {exec_phase:9.0f}ms "
+            f"{result.avg_memory_mb:6.0f}MB {result.peak_memory_mb:7.0f}MB"
+        )
+
+    print(
+        "\nThe paper's observation (§5.4): streaming roughly half the weights "
+        "costs negligible total latency versus full preloading while cutting "
+        "the resident footprint substantially."
+    )
+
+
+if __name__ == "__main__":
+    main()

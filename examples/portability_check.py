@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Portability: a large model across four phones (paper Figure 10).
+
+GPT-Neo-1.3B needs ~2.8 GB of fp16 weights.  A preloading runtime's
+initialization transiently holds the serialized file plus staging copies —
+well beyond what 6-8 GB phones give a single app — so SmartMem OOMs on the
+Pixel 8 and Mi 6.  FlashMem streams the same model within a few hundred MB
+everywhere.
+
+Run:  python examples/portability_check.py
+"""
+
+from repro import FlashMem, FlashMemConfig, get_device, load_model
+from repro.runtime import SMARTMEM, PreloadExecutor
+
+DEVICES = ["OnePlus 12", "OnePlus 11", "Pixel 8", "Xiaomi Mi 6"]
+MODEL = "GPTN-1.3B"
+
+
+def main() -> None:
+    graph = load_model(MODEL)
+    fm = FlashMem(FlashMemConfig.memory_priority())
+    print(f"{MODEL}: {graph.total_weight_bytes / 1e9:.2f} GB of weights\n")
+    print(f"{'device':12s} {'app budget':>11s} | {'SmartMem':>22s} | {'FlashMem':>22s}")
+    for name in DEVICES:
+        device = get_device(name)
+        smem = PreloadExecutor(SMARTMEM, device).run(graph)
+        if smem.details.get("oom"):
+            smem_txt = f"OOM (peak {smem.peak_memory_mb:.0f} MB)"
+        else:
+            smem_txt = f"{smem.latency_ms / 1e3:5.1f}s  {smem.avg_memory_mb:5.0f} MB"
+        result = fm.compile_and_run(graph, device)
+        flash_txt = f"{result.latency_ms / 1e3:5.1f}s  {result.avg_memory_mb:5.0f} MB"
+        budget = device.ram_budget_bytes / 1e9
+        print(f"{name:12s} {budget:9.1f}GB | {smem_txt:>22s} | {flash_txt:>22s}")
+
+    print(
+        "\nFlashMem's streamed execution fits the memory budget on every "
+        "device, including those where initialization alone kills SmartMem."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""FlashMem reproduction: GPU memory-hierarchy optimizations for modern DNN
+workloads on mobile (ASPLOS 2026).
+
+Public API quickstart::
+
+    from repro import FlashMem, FlashMemConfig, load_model, oneplus_12
+
+    fm = FlashMem(FlashMemConfig.memory_priority())
+    result = fm.compile_and_run(load_model("ViT"), oneplus_12())
+    print(f"{result.latency_ms:.0f} ms, {result.avg_memory_mb:.0f} MB avg")
+
+Subpackages: ``repro.graph`` (model IR + zoo), ``repro.gpusim`` (mobile GPU
+simulator), ``repro.capacity`` (load-capacity profiling + GBT), ``repro.opg``
+(CP-SAT substrate + LC-OPG solver), ``repro.fusion`` (adaptive fusion),
+``repro.kernels`` (template-based rewriting), ``repro.runtime`` (executors),
+``repro.experiments`` (per-table/figure drivers).
+"""
+
+from repro.core import CompiledModel, FlashMem, FlashMemConfig
+from repro.gpusim import (
+    DeviceProfile,
+    RunResult,
+    get_device,
+    oneplus_11,
+    oneplus_12,
+    pixel_8,
+    xiaomi_mi6,
+)
+from repro.graph.models import EVALUATED_MODELS, available_models, load_model
+from repro.opg import OpgConfig, OverlapPlan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledModel",
+    "FlashMem",
+    "FlashMemConfig",
+    "DeviceProfile",
+    "RunResult",
+    "get_device",
+    "oneplus_11",
+    "oneplus_12",
+    "pixel_8",
+    "xiaomi_mi6",
+    "EVALUATED_MODELS",
+    "available_models",
+    "load_model",
+    "OpgConfig",
+    "OverlapPlan",
+    "__version__",
+]

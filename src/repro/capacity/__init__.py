@@ -1,0 +1,42 @@
+"""Load-capacity subsystem: operator classification, profiling, and the
+GBT latency regressor that hands per-layer capacities C_l to the solver."""
+
+from repro.capacity.classify import (
+    CLASS_THRESHOLDS,
+    TABLE5_ROWS,
+    can_host_loads,
+    classify,
+    threshold_for,
+    threshold_for_kind,
+)
+from repro.capacity.gbt import GBTConfig, GradientBoostedTrees, RegressionTree
+from repro.capacity.model import (
+    CapacityModelReport,
+    LoadCapacityModel,
+    analytic_capacity_model,
+)
+from repro.capacity.profiler import (
+    DEFAULT_LOAD_RATIOS,
+    LoadCapacityProfiler,
+    ProfileDataset,
+    ProfileSample,
+)
+
+__all__ = [
+    "CLASS_THRESHOLDS",
+    "TABLE5_ROWS",
+    "can_host_loads",
+    "classify",
+    "threshold_for",
+    "threshold_for_kind",
+    "GBTConfig",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "CapacityModelReport",
+    "LoadCapacityModel",
+    "analytic_capacity_model",
+    "DEFAULT_LOAD_RATIOS",
+    "LoadCapacityProfiler",
+    "ProfileDataset",
+    "ProfileSample",
+]

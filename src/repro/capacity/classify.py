@@ -1,0 +1,71 @@
+"""Operator classification and load-capacity thresholds (paper Table 5, §4.2).
+
+The paper sorts operators into three classes and assigns each a latency-
+growth threshold that defines its load capacity:
+
+==============  ================  ===============  ===================  =========
+Class           Memory bandwidth  L.C. tolerance   Compute intensity    Threshold
+==============  ================  ===============  ===================  =========
+Elemental       Low               Medium           Low                  300%
+Reusable        Medium            High             High                 20%
+Hierarchical    High              Low              Medium               0%
+==============  ================  ===============  ===================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.graph.ops import OpClass, OpKind, OpSpec, op_class
+
+#: Latency-growth threshold per class (paper §4.2): the embedded load a
+#: kernel may carry is capped where its latency grows by this fraction.
+CLASS_THRESHOLDS: Dict[OpClass, float] = {
+    OpClass.ELEMENTAL: 3.00,
+    OpClass.REUSABLE: 0.20,
+    OpClass.HIERARCHICAL: 0.00,
+    OpClass.LAYOUT: 0.00,  # layout ops never host loads (SmartMem removes them)
+}
+
+
+@dataclass(frozen=True)
+class ClassCharacteristics:
+    """Qualitative characterization row (Table 5)."""
+
+    op_class: OpClass
+    memory_bandwidth: str
+    lc_tolerance: str
+    compute_intensity: str
+    threshold: float
+    examples: str
+
+
+TABLE5_ROWS = [
+    ClassCharacteristics(OpClass.ELEMENTAL, "Low", "Medium", "Low", 3.00, "ReLU, Add"),
+    ClassCharacteristics(OpClass.REUSABLE, "Medium", "High", "High", 0.20, "Conv, MatMul"),
+    ClassCharacteristics(OpClass.HIERARCHICAL, "High", "Low", "Medium", 0.00, "LayerNorm, Softmax"),
+]
+
+
+def classify(op: OpSpec) -> OpClass:
+    """Load-capacity class of an operator node."""
+    return op.op_class
+
+
+def threshold_for(op: OpSpec) -> float:
+    """Latency-growth threshold governing this operator's load capacity."""
+    return CLASS_THRESHOLDS[op.op_class]
+
+
+def threshold_for_kind(kind: OpKind) -> float:
+    return CLASS_THRESHOLDS[op_class(kind)]
+
+
+def can_host_loads(op: OpSpec) -> bool:
+    """Whether an operator may carry any embedded weight loading at all.
+
+    Hierarchical operators are excluded outright (0% threshold); layout ops
+    do not survive lowering in the FlashMem pipeline.
+    """
+    return threshold_for(op) > 0.0

@@ -1,0 +1,78 @@
+"""Feature extraction for the latency regressor (paper Figure 4).
+
+The paper's profiler varies Global Work Size (GWS), Local Work Size (LWS),
+operator type, and the volume of concurrently streamed data, then trains a
+regressor on the resulting latencies.  We derive GWS/LWS from operator
+shapes the way a mobile OpenCL backend would pick them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.graph.ops import OpClass, OpSpec
+
+FEATURE_NAMES: List[str] = [
+    "log_flops",
+    "log_bytes_moved",
+    "log_output_bytes",
+    "log_gws",
+    "log_lws",
+    "arithmetic_intensity",
+    "is_elemental",
+    "is_reusable",
+    "is_hierarchical",
+    "log_extra_bytes",
+    "extra_ratio",
+]
+
+
+def global_work_size(op: OpSpec) -> int:
+    """GWS: one work-item per output element, texel-packed (RGBA -> /4)."""
+    return max(1, op.output_spec.numel // 4)
+
+
+def local_work_size(op: OpSpec) -> int:
+    """LWS heuristic: largest power-of-two workgroup <= 256 dividing GWS-ish."""
+    gws = global_work_size(op)
+    lws = 256
+    while lws > 1 and gws < lws * 4:
+        lws //= 2
+    return lws
+
+
+def _log(x: float) -> float:
+    return math.log10(max(1.0, float(x)))
+
+
+def featurize(op: OpSpec, extra_bytes: int = 0) -> np.ndarray:
+    """Feature vector for one (operator, embedded load) configuration."""
+    cls = op.op_class
+    input_bytes = max(1, op.input_bytes)
+    return np.array(
+        [
+            _log(op.flops),
+            _log(op.bytes_moved),
+            _log(op.output_bytes),
+            _log(global_work_size(op)),
+            _log(local_work_size(op)),
+            min(1e4, op.arithmetic_intensity),
+            1.0 if cls is OpClass.ELEMENTAL else 0.0,
+            1.0 if cls is OpClass.REUSABLE else 0.0,
+            1.0 if cls is OpClass.HIERARCHICAL else 0.0,
+            _log(extra_bytes),
+            min(50.0, extra_bytes / input_bytes),
+        ],
+        dtype=float,
+    )
+
+
+def featurize_batch(ops_and_loads) -> np.ndarray:
+    """Stack feature vectors for an iterable of (op, extra_bytes) pairs."""
+    rows = [featurize(op, extra) for op, extra in ops_and_loads]
+    if not rows:
+        return np.empty((0, len(FEATURE_NAMES)))
+    return np.vstack(rows)

@@ -1,0 +1,174 @@
+"""Gradient-boosted regression trees on numpy (XGBoost substitute).
+
+The paper trains an XGBoost regressor to predict kernel latency under
+varying additional loads (§4.2, Figure 4).  XGBoost is not available
+offline, so this module implements the same model family from scratch:
+squared-error gradient boosting over exact-split regression trees, with
+shrinkage, subsampling, and depth control.  The feature space is small
+(around ten features) and datasets are thousands of rows, so exact greedy
+splitting is fast enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _TreeNode:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    value: float = 0.0
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class RegressionTree:
+    """CART regression tree with exact greedy splits on squared error."""
+
+    def __init__(self, *, max_depth: int = 4, min_samples_leaf: int = 4, min_gain: float = 1e-12) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self._root: Optional[_TreeNode] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or len(X) != len(y):
+            raise ValueError("X must be (n, d) and y (n,) with matching n")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> Optional[Tuple[int, float]]:
+        n, d = X.shape
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        best_gain = self.min_gain
+        best: Optional[Tuple[int, float]] = None
+        for f in range(d):
+            order = np.argsort(X[:, f], kind="stable")
+            xs, ys = X[order, f], y[order]
+            # Prefix sums let us evaluate every split in O(n).
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            total_sum, total_sq = csum[-1], csq[-1]
+            for i in range(self.min_samples_leaf - 1, n - self.min_samples_leaf):
+                if xs[i] == xs[i + 1]:
+                    continue  # cannot split between equal feature values
+                nl = i + 1
+                nr = n - nl
+                sl, sql = csum[i], csq[i]
+                sr, sqr = total_sum - sl, total_sq - sql
+                sse = (sql - sl * sl / nl) + (sqr - sr * sr / nr)
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (f, float((xs[i] + xs[i + 1]) / 2.0))
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+@dataclass
+class GBTConfig:
+    """Hyperparameters of the boosted ensemble."""
+
+    n_estimators: int = 120
+    learning_rate: float = 0.1
+    max_depth: int = 4
+    min_samples_leaf: int = 4
+    subsample: float = 0.9
+    seed: int = 0
+
+
+class GradientBoostedTrees:
+    """Squared-error gradient boosting: F_{m}(x) = F_{m-1}(x) + lr * tree_m(x).
+
+    With squared error the negative gradient is the residual, so each stage
+    fits a regression tree to the current residuals — functionally the same
+    core as XGBoost's default regressor (without second-order terms).
+    """
+
+    def __init__(self, config: Optional[GBTConfig] = None) -> None:
+        self.config = config or GBTConfig()
+        self._trees: List[RegressionTree] = []
+        self._base: float = 0.0
+        self.train_rmse_: Optional[float] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y) or len(X) == 0:
+            raise ValueError("X and y must be non-empty with matching length")
+        rng = np.random.default_rng(self.config.seed)
+        self._base = float(y.mean())
+        pred = np.full(len(y), self._base)
+        self._trees = []
+        n = len(y)
+        sample = max(self.config.min_samples_leaf * 2, int(n * self.config.subsample))
+        for _ in range(self.config.n_estimators):
+            residual = y - pred
+            if sample < n:
+                idx = rng.choice(n, size=sample, replace=False)
+            else:
+                idx = np.arange(n)
+            tree = RegressionTree(
+                max_depth=self.config.max_depth,
+                min_samples_leaf=self.config.min_samples_leaf,
+            ).fit(X[idx], residual[idx])
+            update = tree.predict(X)
+            pred = pred + self.config.learning_rate * update
+            self._trees.append(tree)
+        self.train_rmse_ = float(np.sqrt(((y - pred) ** 2).mean()))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=float)
+        pred = np.full(len(X), self._base)
+        for tree in self._trees:
+            pred = pred + self.config.learning_rate * tree.predict(X)
+        return pred
+
+    def score_rmse(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Root-mean-squared error on a held-out set."""
+        return float(np.sqrt(((self.predict(X) - np.asarray(y, dtype=float)) ** 2).mean()))

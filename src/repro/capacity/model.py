@@ -1,0 +1,153 @@
+"""The trained load-capacity model: per-layer C_l for the LC-OPG solver.
+
+Combines the class thresholds (0% / 20% / 300%, paper §4.2) with a latency
+predictor.  Two predictor backends:
+
+- ``analytic`` — invert the simulator's cost model directly (exact);
+- ``gbt`` — the paper's approach: train the gradient-boosted regressor on
+  profiled samples and invert the *prediction* by bisection.
+
+Both yield a :class:`LoadCapacityModel` exposing ``capacity_bytes(op)``,
+which the solver consumes as C_l (converted to chunks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.capacity.classify import threshold_for
+from repro.capacity.features import featurize
+from repro.capacity.gbt import GBTConfig, GradientBoostedTrees
+from repro.capacity.profiler import LoadCapacityProfiler, ProfileDataset
+from repro.gpusim.device import DeviceProfile
+from repro.gpusim.kernels import KernelCostModel
+from repro.graph.dag import Graph
+from repro.graph.ops import OpSpec
+
+
+@dataclass
+class CapacityModelReport:
+    """Fit diagnostics (Figure 4 reproduction)."""
+
+    n_samples: int
+    train_rmse_log10: float
+    holdout_rmse_log10: float
+
+    @property
+    def holdout_mean_rel_error(self) -> float:
+        """Approximate mean relative latency error implied by log-RMSE."""
+        return 10**self.holdout_rmse_log10 - 1.0
+
+
+class LoadCapacityModel:
+    """Per-operator load capacities C_l derived from a latency predictor."""
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        *,
+        backend: str = "analytic",
+        regressor: Optional[GradientBoostedTrees] = None,
+    ) -> None:
+        if backend not in ("analytic", "gbt"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "gbt" and regressor is None:
+            raise ValueError("gbt backend requires a fitted regressor")
+        self.device = device
+        self.backend = backend
+        self.cost = KernelCostModel(device)
+        self.regressor = regressor
+        self.report: Optional[CapacityModelReport] = None
+
+    # ------------------------------------------------------------ training
+    @classmethod
+    def train(
+        cls,
+        device: DeviceProfile,
+        graphs: Iterable[Graph],
+        *,
+        seed: int = 0,
+        gbt_config: Optional[GBTConfig] = None,
+        max_ops_per_model: int = 40,
+    ) -> "LoadCapacityModel":
+        """Profile ``graphs`` and fit the GBT latency regressor (paper path)."""
+        profiler = LoadCapacityProfiler(device, seed=seed)
+        dataset = profiler.profile_models(graphs, max_ops_per_model=max_ops_per_model)
+        return cls.from_dataset(device, dataset, seed=seed, gbt_config=gbt_config)
+
+    @classmethod
+    def from_dataset(
+        cls,
+        device: DeviceProfile,
+        dataset: ProfileDataset,
+        *,
+        seed: int = 0,
+        gbt_config: Optional[GBTConfig] = None,
+    ) -> "LoadCapacityModel":
+        train, holdout = dataset.split(holdout=0.2, seed=seed)
+        X, y = train.matrices()
+        config = gbt_config or GBTConfig(seed=seed)
+        reg = GradientBoostedTrees(config).fit(X, y)
+        Xh, yh = holdout.matrices()
+        model = cls(device, backend="gbt", regressor=reg)
+        model.report = CapacityModelReport(
+            n_samples=len(dataset),
+            train_rmse_log10=reg.train_rmse_ or 0.0,
+            holdout_rmse_log10=reg.score_rmse(Xh, yh) if len(holdout) else 0.0,
+        )
+        return model
+
+    # ----------------------------------------------------------- prediction
+    def predict_latency_ms(self, op: OpSpec, extra_bytes: int = 0) -> float:
+        """Predicted kernel latency with an embedded load of ``extra_bytes``."""
+        if self.backend == "analytic":
+            return self.cost.time_with_load_ms(op, extra_bytes)
+        assert self.regressor is not None
+        log_latency = self.regressor.predict(featurize(op, extra_bytes).reshape(1, -1))[0]
+        return float(10**log_latency)
+
+    def capacity_bytes(self, op: OpSpec) -> int:
+        """Load capacity C_l of one operator, in bytes.
+
+        The largest embedded load whose (predicted) latency stays within the
+        class threshold of the base latency.  Hierarchical operators get 0.
+        Fused kernels collapse to roughly the minimum of their members'
+        capacities (paper §4.3: ``C_fused ~= min(C_1, ..., C_k)``) — the
+        fused loop structure is paced by its least load-tolerant stage.
+        """
+        from repro.fusion.fuser import fused_members, is_fused
+
+        if is_fused(op):
+            return min(self.capacity_bytes(m) for m in fused_members(op))
+        threshold = threshold_for(op)
+        if threshold <= 0.0:
+            return 0
+        if self.backend == "analytic":
+            return self.cost.load_capacity_bytes(op, threshold)
+        # GBT backend: bisect over the regressor's predictions.
+        base = self.predict_latency_ms(op, 0)
+        limit = base * (1.0 + threshold)
+        lo, hi = 0, max(op.input_bytes * 16, 1 << 20)
+        if self.predict_latency_ms(op, hi) <= limit:
+            return hi
+        for _ in range(40):
+            mid = (lo + hi) // 2
+            if self.predict_latency_ms(op, mid) <= limit:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def capacity_chunks(self, op: OpSpec, chunk_bytes: int) -> int:
+        """C_l expressed in whole chunks (the solver's unit)."""
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        return self.capacity_bytes(op) // chunk_bytes
+
+
+def analytic_capacity_model(device: DeviceProfile) -> LoadCapacityModel:
+    """Exact capacity model straight from the simulator's cost model."""
+    return LoadCapacityModel(device, backend="analytic")

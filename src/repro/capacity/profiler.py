@@ -1,0 +1,157 @@
+"""Load-capacity profiling harness (paper §2.3 Figure 2 and §4.2 Figure 4).
+
+The paper measures each kernel's latency while forcing it to stream varying
+amounts of additional weight data, across operators sampled from more than
+ten models.  Here the simulator's kernel cost model plays the role of the
+physical GPU: the profiler samples (operator, load ratio) points, perturbs
+them with measurement noise, and emits a dataset the GBT regressor trains
+on.  The same harness produces the Figure 2 sensitivity curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.capacity.features import featurize_batch
+from repro.gpusim.device import DeviceProfile
+from repro.gpusim.kernels import KernelCostModel
+from repro.graph.dag import Graph
+from repro.graph.ops import OpClass, OpSpec
+
+#: Load ratios swept per operator (multiples of the kernel's input bytes),
+#: matching Figure 2's x-axis range.
+DEFAULT_LOAD_RATIOS: Tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+@dataclass
+class ProfileSample:
+    """One measured point: an operator run with an embedded load."""
+
+    op: OpSpec
+    extra_bytes: int
+    latency_ms: float
+
+
+@dataclass
+class ProfileDataset:
+    """Collected samples plus the matrices the regressor consumes."""
+
+    samples: List[ProfileSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(X, y) with y = log10 latency (latencies span ~5 decades)."""
+        X = featurize_batch((s.op, s.extra_bytes) for s in self.samples)
+        y = np.log10(np.array([max(1e-6, s.latency_ms) for s in self.samples]))
+        return X, y
+
+    def split(self, holdout: float = 0.2, seed: int = 0) -> Tuple["ProfileDataset", "ProfileDataset"]:
+        """Deterministic train/holdout split."""
+        rng = np.random.default_rng(seed)
+        idx = rng.permutation(len(self.samples))
+        cut = int(len(idx) * (1.0 - holdout))
+        train = ProfileDataset([self.samples[i] for i in idx[:cut]])
+        test = ProfileDataset([self.samples[i] for i in idx[cut:]])
+        return train, test
+
+
+class LoadCapacityProfiler:
+    """Samples kernel latencies under varying embedded loads.
+
+    ``noise`` is the relative measurement jitter (lognormal), seeded for
+    reproducibility — physical profiling has run-to-run variance, and the
+    regressor should be trained against noisy observations as the paper's
+    was.
+    """
+
+    def __init__(self, device: DeviceProfile, *, noise: float = 0.03, seed: int = 0) -> None:
+        self.device = device
+        self.cost = KernelCostModel(device)
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, op: OpSpec, extra_bytes: int) -> float:
+        """One noisy latency observation (the simulator is ground truth)."""
+        true = self.cost.time_with_load_ms(op, extra_bytes)
+        if self.noise <= 0:
+            return true
+        return float(true * self._rng.lognormal(mean=0.0, sigma=self.noise))
+
+    def profile_op(self, op: OpSpec, ratios: Sequence[float] = DEFAULT_LOAD_RATIOS) -> List[ProfileSample]:
+        """Sweep one operator across load ratios."""
+        samples = []
+        for r in ratios:
+            extra = int(op.input_bytes * r)
+            samples.append(ProfileSample(op, extra, self.measure(op, extra)))
+        return samples
+
+    def profile_graph(
+        self,
+        graph: Graph,
+        *,
+        max_ops: int = 60,
+        ratios: Sequence[float] = DEFAULT_LOAD_RATIOS,
+    ) -> ProfileDataset:
+        """Strategically sample up to ``max_ops`` operators from a model.
+
+        Sampling is stratified by operator class so hierarchical operators
+        (rare but critical) are always represented.
+        """
+        by_class: Dict[OpClass, List[OpSpec]] = {}
+        for node in graph.nodes():
+            if node.op_class is OpClass.LAYOUT:
+                continue
+            by_class.setdefault(node.op_class, []).append(node.spec)
+        dataset = ProfileDataset()
+        classes = [c for c in by_class if by_class[c]]
+        per_class = max(1, max_ops // max(1, len(classes)))
+        for cls in classes:
+            ops = by_class[cls]
+            step = max(1, len(ops) // per_class)
+            for op in ops[::step][:per_class]:
+                dataset.samples.extend(self.profile_op(op, ratios))
+        return dataset
+
+    def profile_models(self, graphs: Iterable[Graph], *, max_ops_per_model: int = 40) -> ProfileDataset:
+        """Profile a fleet of models (the paper uses >10)."""
+        dataset = ProfileDataset()
+        for g in graphs:
+            dataset.samples.extend(self.profile_graph(g, max_ops=max_ops_per_model).samples)
+        return dataset
+
+    # ----------------------------------------------------------- Figure 2
+    def sensitivity_curve(
+        self, op: OpSpec, ratios: Sequence[float] = DEFAULT_LOAD_RATIOS
+    ) -> List[Tuple[float, float]]:
+        """(load ratio, latency increase ms) series — one Figure 2 line.
+
+        Uses the noiseless model so the curve is the clean analytic shape.
+        """
+        base = self.cost.base_time_ms(op)
+        out = []
+        for r in ratios:
+            extra = int(op.input_bytes * r)
+            out.append((r, self.cost.time_with_load_ms(op, extra) - base))
+        return out
+
+    def threshold_crossing(self, op: OpSpec, threshold: float, *, max_ratio: float = 16.0) -> Optional[float]:
+        """Smallest load ratio where slowdown exceeds ``threshold`` (bisection).
+
+        Returns None when the operator never crosses within ``max_ratio`` —
+        Figure 2's 20%/30% markers.
+        """
+        if self.cost.slowdown_fraction(op, int(op.input_bytes * max_ratio)) < threshold:
+            return None
+        lo, hi = 0.0, max_ratio
+        for _ in range(48):
+            mid = (lo + hi) / 2
+            if self.cost.slowdown_fraction(op, int(op.input_bytes * mid)) < threshold:
+                lo = mid
+            else:
+                hi = mid
+        return hi

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list``                      — models and devices available.
+- ``run MODEL [--device D]``    — compile + run one model under FlashMem,
+                                  with optional baseline comparison.
+- ``plan MODEL [--out F]``      — solve the overlap plan and print/export it.
+- ``experiment NAME``           — regenerate one paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import FlashMemConfig
+from repro.core.flashmem import FlashMem
+from repro.gpusim.device import DEVICE_PRESETS, get_device
+from repro.graph.models import ALL_CARDS, EVALUATED_MODELS, load_model
+from repro.opg.problem import OpgConfig
+
+EXPERIMENTS = [
+    "table1", "fig2", "table4", "table5", "table6", "fig4",
+    "table7", "table8", "fig6", "fig7", "fig8", "fig9", "table9", "fig10",
+    "background_texture", "appendix_fp32", "ablations", "preemption",
+]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlashMem reproduction: mobile GPU memory streaming for DNN inference",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models, devices, and experiments")
+
+    run_p = sub.add_parser("run", help="compile + run a model under FlashMem")
+    run_p.add_argument("model", choices=sorted(ALL_CARDS))
+    run_p.add_argument("--device", default="OnePlus 12", choices=sorted(DEVICE_PRESETS))
+    run_p.add_argument("--iterations", type=int, default=1)
+    run_p.add_argument("--preload-ratio", type=float, default=None,
+                       help="force a preload fraction (Figure 8 knob)")
+    run_p.add_argument("--baseline", default=None,
+                       choices=["MNN", "NCNN", "TVM", "LiteRT", "ETorch", "SMem"],
+                       help="also run a preloading baseline for comparison")
+    run_p.add_argument("--time-limit", type=float, default=5.0,
+                       help="LC-OPG solver budget in seconds")
+
+    plan_p = sub.add_parser("plan", help="solve and inspect an overlap plan")
+    plan_p.add_argument("model", choices=sorted(ALL_CARDS))
+    plan_p.add_argument("--device", default="OnePlus 12", choices=sorted(DEVICE_PRESETS))
+    plan_p.add_argument("--time-limit", type=float, default=5.0)
+    plan_p.add_argument("--out", default=None, help="write the plan JSON here")
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("name", choices=EXPERIMENTS)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Evaluated models (paper Table 6):")
+    for abbr in EVALUATED_MODELS:
+        card = ALL_CARDS[abbr]
+        print(f"  {abbr:11s} {card.full_name:24s} {card.task}")
+    print("\nSolver-scaling models (paper Table 4): "
+          + ", ".join(sorted(set(ALL_CARDS) - set(EVALUATED_MODELS))))
+    print("\nDevices:")
+    for device in DEVICE_PRESETS.values():
+        print(f"  {device.name:12s} {device.gpu:15s} {device.ram_bytes / 2**30:.0f} GB RAM")
+    print("\nExperiments: " + ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    graph = load_model(args.model)
+    config = FlashMemConfig(opg=OpgConfig(time_limit_s=args.time_limit))
+    fm = FlashMem(config)
+    print(f"Compiling {graph.summary()} for {device.name} ...")
+    compiled = fm.compile(graph, device, target_preload_ratio=args.preload_ratio)
+    print(f"  plan: {compiled.plan.stats.solver_status}, "
+          f"preload {compiled.preload_ratio * 100:.1f}%")
+    result = fm.run(compiled, iterations=args.iterations)
+    print(f"FlashMem: {result.latency_ms:.0f} ms, "
+          f"avg {result.avg_memory_mb:.0f} MB, peak {result.peak_memory_mb:.0f} MB, "
+          f"{result.energy_j:.1f} J")
+    if args.baseline:
+        from repro.runtime.frameworks import get_profile
+        from repro.runtime.preload import ModelNotSupportedError, PreloadExecutor
+
+        try:
+            base = PreloadExecutor(get_profile(args.baseline), device).run(
+                graph, iterations=args.iterations
+            )
+        except ModelNotSupportedError:
+            print(f"{args.baseline}: model not supported")
+            return 0
+        print(f"{args.baseline}: {base.latency_ms:.0f} ms, avg {base.avg_memory_mb:.0f} MB")
+        print(f"Speedup {base.latency_ms / result.latency_ms:.1f}x, "
+              f"memory reduction {base.avg_memory_bytes / result.avg_memory_bytes:.1f}x")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.capacity.model import analytic_capacity_model
+    from repro.opg.lcopg import LcOpgSolver
+
+    device = get_device(args.device)
+    graph = load_model(args.model)
+    config = OpgConfig(time_limit_s=args.time_limit)
+    plan = LcOpgSolver(config).solve(
+        graph, analytic_capacity_model(device), device_name=device.name
+    )
+    stats = plan.stats
+    print(f"{plan.model} on {plan.device}: {stats.solver_status}")
+    print(f"  windows {stats.windows} (cp {stats.cp_windows}, heuristic {stats.heuristic_windows})")
+    print(f"  solve {stats.solve_s:.2f}s, build {stats.build_model_s:.2f}s")
+    print(f"  preload {plan.preload_ratio * 100:.1f}% "
+          f"({len(plan.preloaded_weights)} of {len(plan.schedules)} weights)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(plan.to_json())
+        print(f"  plan written to {args.out}")
+    return 0
+
+
+def _cmd_experiment(name: str) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    result = module.run()
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.name)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""FlashMem core: configuration and the end-to-end compile/run facade."""
+
+from repro.core.config import FlashMemConfig
+from repro.core.flashmem import CompiledModel, FlashMem
+from repro.core.store import PlanStore, config_fingerprint
+
+__all__ = ["FlashMemConfig", "CompiledModel", "FlashMem", "PlanStore", "config_fingerprint"]

@@ -1,0 +1,133 @@
+"""FlashMem public facade: compile a model, run it, inspect the artifacts.
+
+The workflow of the paper's Figure 3::
+
+    parse model -> capacity prediction -> LC-OPG overlap plan
+        -> (adaptive fusion on constraint failure) -> kernel rewriting
+        -> plan-driven streamed execution
+
+Typical use::
+
+    from repro import FlashMem, FlashMemConfig, load_model, oneplus_12
+
+    fm = FlashMem(FlashMemConfig.memory_priority())
+    compiled = fm.compile(load_model("ViT"), oneplus_12())
+    result = fm.run(compiled)
+    print(result.latency_ms, result.avg_memory_mb)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.capacity.model import LoadCapacityModel, analytic_capacity_model
+from repro.core.config import FlashMemConfig
+from repro.fusion.adaptive import AdaptiveFusionPlanner, AdaptiveFusionReport
+from repro.graph.dag import Graph
+from repro.graph.lowering import eliminate_layout_ops
+from repro.gpusim.device import DeviceProfile
+from repro.gpusim.timeline import RunResult
+from repro.kernels.codegen import ExecStyle, KernelBundle
+from repro.kernels.rewriter import KernelRewriter
+from repro.opg.lcopg import LcOpgSolver
+from repro.opg.plan import OverlapPlan
+from repro.runtime.executor import FlashMemExecutor
+
+
+@dataclass
+class CompiledModel:
+    """Everything FlashMem produces offline for one (model, device) pair."""
+
+    graph: Graph            # the executed graph (layout-eliminated, fused)
+    plan: OverlapPlan
+    bundle: KernelBundle
+    device: DeviceProfile
+    fusion_report: Optional[AdaptiveFusionReport] = None
+
+    @property
+    def preload_ratio(self) -> float:
+        return self.plan.preload_ratio
+
+
+class FlashMem:
+    """The memory-streaming framework, end to end."""
+
+    def __init__(self, config: Optional[FlashMemConfig] = None) -> None:
+        self.config = config or FlashMemConfig()
+
+    # ------------------------------------------------------------- pipeline
+    def capacity_model(
+        self, device: DeviceProfile, *, profile_graphs: Optional[Iterable[Graph]] = None
+    ) -> LoadCapacityModel:
+        """Build the load-capacity model for ``device``.
+
+        The "gbt" backend profiles ``profile_graphs`` (required) and trains
+        the regression model the way the paper does; "analytic" inverts the
+        simulator's cost model exactly.
+        """
+        if self.config.capacity_backend == "gbt":
+            if profile_graphs is None:
+                raise ValueError("gbt capacity backend requires profile_graphs")
+            return LoadCapacityModel.train(device, profile_graphs, seed=self.config.capacity_seed)
+        return analytic_capacity_model(device)
+
+    def compile(
+        self,
+        graph: Graph,
+        device: DeviceProfile,
+        *,
+        capacity: Optional[LoadCapacityModel] = None,
+        target_preload_ratio: Optional[float] = None,
+    ) -> CompiledModel:
+        """Produce the overlap plan and kernel bundle for ``graph``.
+
+        ``target_preload_ratio`` overrides the λ-derived preload fraction
+        (the Figure 8 trade-off knob).
+        """
+        cfg = self.config
+        capacity = capacity or self.capacity_model(device)
+        solver = LcOpgSolver(cfg.opg, use_cp=cfg.use_cp)
+        lowered = eliminate_layout_ops(graph)
+        fusion_report: Optional[AdaptiveFusionReport] = None
+        if cfg.use_adaptive_fusion:
+            planner = AdaptiveFusionPlanner(solver, capacity)
+            executed, plan, fusion_report = planner.plan(lowered, device_name=device.name)
+            if target_preload_ratio is not None:
+                plan = solver.solve(
+                    executed, capacity, device_name=device.name, target_preload_ratio=target_preload_ratio
+                )
+        else:
+            executed = lowered
+            plan = solver.solve(
+                executed, capacity, device_name=device.name, target_preload_ratio=target_preload_ratio
+            )
+        style = ExecStyle.PIPELINED if cfg.use_kernel_rewriting else ExecStyle.RESIDENT
+        bundle = KernelRewriter(style=style).rewrite_graph(executed, plan)
+        return CompiledModel(
+            graph=executed, plan=plan, bundle=bundle, device=device, fusion_report=fusion_report
+        )
+
+    def run(self, compiled: CompiledModel, *, iterations: int = 1) -> RunResult:
+        """Execute a compiled model on the simulator."""
+        executor = FlashMemExecutor(
+            compiled.device, rewriting=self.config.use_kernel_rewriting
+        )
+        return executor.run(
+            compiled.graph, compiled.plan, compiled.bundle, iterations=iterations
+        )
+
+    def compile_and_run(
+        self,
+        graph: Graph,
+        device: DeviceProfile,
+        *,
+        iterations: int = 1,
+        capacity: Optional[LoadCapacityModel] = None,
+        target_preload_ratio: Optional[float] = None,
+    ) -> RunResult:
+        """One-shot convenience: compile then run."""
+        compiled = self.compile(
+            graph, device, capacity=capacity, target_preload_ratio=target_preload_ratio
+        )
+        return self.run(compiled, iterations=iterations)

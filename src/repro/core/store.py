@@ -1,0 +1,75 @@
+"""Plan store: persist and reuse overlap plans on disk.
+
+The paper emphasises that LC-OPG runs *offline* and its plans are reusable
+deployment artifacts ("generating a reusable overlap plan that incurs no
+runtime overhead").  The store keys plans by (model, device, configuration
+fingerprint), so repeated launches skip the solver entirely — exactly the
+artifact flow a production deployment of FlashMem would ship.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import asdict
+from typing import Optional
+
+from repro.opg.plan import OverlapPlan
+from repro.opg.problem import OpgConfig
+
+
+def config_fingerprint(config: OpgConfig) -> str:
+    """Stable short hash of the solver hyperparameters."""
+    payload = asdict(config)
+    payload["preload_hint_weights"] = sorted(payload["preload_hint_weights"])
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class PlanStore:
+    """Directory-backed store of overlap plans."""
+
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, model: str, device: str, config: OpgConfig) -> pathlib.Path:
+        safe = lambda s: "".join(c if c.isalnum() or c in "-._" else "_" for c in s)
+        name = f"{safe(model)}__{safe(device)}__{config_fingerprint(config)}.json"
+        return self.root / name
+
+    def load(self, model: str, device: str, config: OpgConfig) -> Optional[OverlapPlan]:
+        """Return the stored plan, or None when absent or unreadable."""
+        path = self._path(model, device, config)
+        if not path.exists():
+            return None
+        try:
+            return OverlapPlan.from_json(path.read_text())
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt artifact: treat as a miss
+
+    def save(self, plan: OverlapPlan, config: OpgConfig) -> pathlib.Path:
+        path = self._path(plan.model, plan.device, config)
+        path.write_text(plan.to_json())
+        return path
+
+    def get_or_solve(self, graph, capacity_model, config: OpgConfig, *, device_name: str) -> OverlapPlan:
+        """Cached solve: load a stored plan or run LC-OPG and persist it."""
+        cached = self.load(graph.name, device_name, config)
+        if cached is not None:
+            return cached
+        from repro.opg.lcopg import LcOpgSolver
+
+        plan = LcOpgSolver(config).solve(graph, capacity_model, device_name=device_name)
+        self.save(plan, config)
+        return plan
+
+    def entries(self):
+        """(model, device, fingerprint) triples currently stored."""
+        out = []
+        for path in sorted(self.root.glob("*.json")):
+            parts = path.stem.split("__")
+            if len(parts) == 3:
+                out.append(tuple(parts))
+        return out

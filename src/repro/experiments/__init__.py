@@ -1,0 +1,38 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Each driver exposes ``run(...)`` returning a structured result with a
+``render()`` method printing the paper's rows/series.  The benchmarks in
+``benchmarks/`` wrap these drivers; they are equally usable interactively::
+
+    from repro.experiments import table7
+    print(table7.run().render())
+"""
+
+from repro.experiments import (
+    ablations,
+    appendix_fp32,
+    background_texture,
+    fig2,
+    preemption,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.common import clear_caches
+
+__all__ = [
+    "ablations", "appendix_fp32", "background_texture", "preemption",
+    "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "table1", "table4", "table5", "table6", "table7", "table8", "table9",
+    "clear_caches",
+]

@@ -1,0 +1,53 @@
+"""Background claim (§2.1): texture memory accelerates DNN kernels.
+
+Romou reports up to 3.5x speedups from texture-backed execution over
+unified-memory buffers.  This driver replays representative DNN access
+patterns through the cache model (Z-order texture cache vs linear buffer
+path) and reports the per-pattern effective-bandwidth advantage — the
+mechanistic basis for the ExecuTorch baseline's efficiency gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.report import render_table
+from repro.gpusim.cache import AccessPattern, PathComparison, compare_paths
+
+PATTERN_KERNELS = {
+    AccessPattern.TILED_2D: "MatMul / Conv tile reads",
+    AccessPattern.ROW_LINEAR: "Elementwise scans",
+    AccessPattern.COLUMN_STRIDED: "Transposed / attention K reads",
+}
+
+
+@dataclass
+class BackgroundTextureResult:
+    comparisons: List[PathComparison]
+
+    @property
+    def max_speedup(self) -> float:
+        return max(c.speedup for c in self.comparisons)
+
+    def render(self) -> str:
+        return render_table(
+            ["Access pattern", "Kernels", "Texture hit rate", "Linear hit rate", "Speedup"],
+            [
+                (
+                    c.pattern.value,
+                    PATTERN_KERNELS[c.pattern],
+                    f"{c.texture_hit_rate * 100:.0f}%",
+                    f"{c.linear_hit_rate * 100:.0f}%",
+                    f"{c.speedup:.1f}x",
+                )
+                for c in self.comparisons
+            ],
+            title="Background §2.1 — texture vs unified-memory path (Romou: up to 3.5x)",
+        )
+
+
+def run(*, width: int = 128, height: int = 128) -> BackgroundTextureResult:
+    return BackgroundTextureResult(
+        comparisons=[compare_paths(p, width=width, height=height) for p in AccessPattern]
+    )

@@ -1,0 +1,89 @@
+"""Shared infrastructure for the experiment drivers.
+
+All drivers use one standard experiment configuration (solver budgets sized
+for repeated runs) and a process-level cache so Table 7, Table 8, Table 9,
+and Figure 10 reuse each (model, device) compilation instead of re-solving.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from repro.capacity.model import LoadCapacityModel, analytic_capacity_model
+from repro.core.config import FlashMemConfig
+from repro.core.flashmem import CompiledModel, FlashMem
+from repro.gpusim.device import get_device
+from repro.gpusim.timeline import RunResult
+from repro.graph.dag import Graph
+from repro.graph.lowering import eliminate_layout_ops
+from repro.graph.models import load_model
+from repro.opg.problem import OpgConfig
+from repro.runtime.frameworks import get_profile
+from repro.runtime.preload import ModelNotSupportedError, PreloadExecutor
+
+#: Default evaluation device (the paper's primary target).
+DEFAULT_DEVICE = "OnePlus 12"
+
+
+def experiment_opg_config(**overrides) -> OpgConfig:
+    """Solver settings sized for experiment sweeps (seconds, not minutes)."""
+    base = dict(time_limit_s=3.0, max_nodes_per_window=500)
+    base.update(overrides)
+    return OpgConfig(**base)
+
+
+def experiment_flashmem_config(**opg_overrides) -> FlashMemConfig:
+    return FlashMemConfig(opg=experiment_opg_config(**opg_overrides))
+
+
+@lru_cache(maxsize=64)
+def cached_graph(model: str) -> Graph:
+    return load_model(model)
+
+
+@lru_cache(maxsize=8)
+def cached_capacity(device_name: str) -> LoadCapacityModel:
+    return analytic_capacity_model(get_device(device_name))
+
+
+@lru_cache(maxsize=64)
+def cached_compile(model: str, device_name: str) -> CompiledModel:
+    """Full-pipeline FlashMem compilation, cached per (model, device)."""
+    fm = FlashMem(experiment_flashmem_config())
+    return fm.compile(
+        cached_graph(model), get_device(device_name), capacity=cached_capacity(device_name)
+    )
+
+
+@lru_cache(maxsize=256)
+def flashmem_result(model: str, device_name: str, iterations: int = 1) -> RunResult:
+    """Cached FlashMem run."""
+    fm = FlashMem(experiment_flashmem_config())
+    return fm.run(cached_compile(model, device_name), iterations=iterations)
+
+
+@lru_cache(maxsize=512)
+def framework_result(
+    framework: str, model: str, device_name: str, iterations: int = 1
+) -> Optional[RunResult]:
+    """Cached baseline run; None when the framework lacks support.
+
+    Baselines other than SmartMem execute the raw lowered graph (layout ops
+    included); SmartMem — whose contribution is layout-transformation
+    elimination — runs the layout-eliminated graph, like FlashMem.
+    """
+    profile = get_profile(framework)
+    graph = cached_graph(model)
+    if framework == "SMem":
+        graph = eliminate_layout_ops(graph)
+    try:
+        return PreloadExecutor(profile, get_device(device_name)).run(graph, iterations=iterations)
+    except ModelNotSupportedError:
+        return None
+
+
+def clear_caches() -> None:
+    """Drop all cached compilations/results (tests use this for isolation)."""
+    for fn in (cached_graph, cached_capacity, cached_compile, flashmem_result, framework_result):
+        fn.cache_clear()

@@ -1,0 +1,75 @@
+"""Figure 10 — portability across devices: SmartMem vs FlashMem.
+
+Runs three models on the OnePlus 11, Pixel 8, and Xiaomi Mi 6, reporting
+latency and memory for SmartMem and FlashMem.  On the 6-8 GB devices the
+GPTN-1.3B initialisation exceeds the memory budget under SmartMem (the
+paper's empty bars), while FlashMem's streamed execution fits everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import flashmem_result, framework_result
+from repro.experiments.report import render_table
+
+DEVICES = ["OnePlus 11", "Pixel 8", "Xiaomi Mi 6"]
+MODELS = ["ViT", "Whisp-M", "GPTN-1.3B"]
+
+
+@dataclass
+class Fig10Row:
+    device: str
+    model: str
+    smem_ms: Optional[float]
+    smem_mb: Optional[float]
+    smem_oom: bool
+    flashmem_ms: float
+    flashmem_mb: float
+    flashmem_oom: bool
+
+
+@dataclass
+class Fig10Result:
+    rows: List[Fig10Row]
+
+    def render(self) -> str:
+        def fmt(value, oom):
+            if value is None:
+                return "-"
+            return "OOM" if oom else value
+
+        return render_table(
+            ["Device", "Model", "SMem (ms)", "SMem (MB)", "Ours (ms)", "Ours (MB)"],
+            [
+                (
+                    r.device, r.model,
+                    fmt(r.smem_ms, r.smem_oom), fmt(r.smem_mb, r.smem_oom),
+                    fmt(r.flashmem_ms, r.flashmem_oom), fmt(r.flashmem_mb, r.flashmem_oom),
+                )
+                for r in self.rows
+            ],
+            title="Figure 10 — portability (OOM = ran out of memory during initialization)",
+        )
+
+
+def run(*, devices: Optional[List[str]] = None, models: Optional[List[str]] = None) -> Fig10Result:
+    rows: List[Fig10Row] = []
+    for device in devices or DEVICES:
+        for model in models or MODELS:
+            smem = framework_result("SMem", model, device)
+            ours = flashmem_result(model, device)
+            rows.append(
+                Fig10Row(
+                    device=device,
+                    model=model,
+                    smem_ms=smem.latency_ms if smem else None,
+                    smem_mb=smem.avg_memory_mb if smem else None,
+                    smem_oom=bool(smem and smem.details.get("oom")),
+                    flashmem_ms=ours.latency_ms,
+                    flashmem_mb=ours.avg_memory_mb,
+                    flashmem_oom=bool(ours.details.get("oom")),
+                )
+            )
+    return Fig10Result(rows=rows)

@@ -1,0 +1,84 @@
+"""Figure 2 — kernel latency increase vs. extra data streamed alongside.
+
+For representative operators (MatMul, Add, Activation, Softmax, LayerNorm)
+the driver sweeps the extra-load ratio and reports the latency increase,
+plus the ratio at which each operator crosses the 20% and 30% slowdown
+markers the paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.capacity.profiler import LoadCapacityProfiler
+from repro.experiments.common import DEFAULT_DEVICE
+from repro.experiments.report import render_table
+from repro.gpusim.device import get_device
+from repro.graph.ops import (
+    OpKind,
+    OpSpec,
+    elementwise_spec,
+    matmul_spec,
+    normalization_spec,
+    softmax_spec,
+)
+
+LOAD_RATIOS: Tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+def representative_ops(seq: int = 128, dim: int = 2048) -> Dict[str, OpSpec]:
+    """The operator set Figure 2 profiles, at transformer-block shapes."""
+    return {
+        "Matmul": matmul_spec("mm", seq, dim, dim),
+        "Add": elementwise_spec("add", OpKind.ADD, (seq, dim), n_inputs=2),
+        "Activation": elementwise_spec("act", OpKind.ACTIVATION, (seq, dim)),
+        "Softmax": softmax_spec("softmax", (16, seq, seq)),
+        "LayerNorm": normalization_spec("ln", OpKind.LAYERNORM, (seq, dim)),
+    }
+
+
+@dataclass
+class Fig2Curve:
+    op: str
+    #: (load ratio, latency increase ms)
+    points: List[Tuple[float, float]]
+    threshold_20: Optional[float]
+    threshold_30: Optional[float]
+
+
+@dataclass
+class Fig2Result:
+    curves: List[Fig2Curve]
+
+    def render(self) -> str:
+        rows = []
+        for c in self.curves:
+            for ratio, delta in c.points:
+                rows.append((c.op, ratio, delta))
+        table = render_table(
+            ["Operator", "Load ratio", "Latency increase (ms)"],
+            rows,
+            title="Figure 2 — overlap sensitivity per operator",
+        )
+        marks = render_table(
+            ["Operator", "20% threshold (ratio)", "30% threshold (ratio)"],
+            [(c.op, c.threshold_20, c.threshold_30) for c in self.curves],
+            title="Threshold crossings",
+        )
+        return table + "\n\n" + marks
+
+
+def run(device: str = DEFAULT_DEVICE) -> Fig2Result:
+    profiler = LoadCapacityProfiler(get_device(device), noise=0.0)
+    curves = []
+    for name, op in representative_ops().items():
+        curves.append(
+            Fig2Curve(
+                op=name,
+                points=profiler.sensitivity_curve(op, LOAD_RATIOS),
+                threshold_20=profiler.threshold_crossing(op, 0.20),
+                threshold_30=profiler.threshold_crossing(op, 0.30),
+            )
+        )
+    return Fig2Result(curves=curves)

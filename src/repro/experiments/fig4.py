@@ -1,0 +1,70 @@
+"""Figure 4 — profiling + regression model for latency prediction.
+
+Profiles operators from the full model zoo (the paper uses >10 models),
+trains the gradient-boosted-trees regressor on (operator, GWS/LWS, embedded
+load) features, and reports train/holdout accuracy plus a per-class error
+breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.capacity.features import featurize
+from repro.capacity.model import LoadCapacityModel
+from repro.capacity.profiler import LoadCapacityProfiler
+from repro.experiments.common import DEFAULT_DEVICE, cached_graph
+from repro.experiments.report import render_table
+from repro.gpusim.device import get_device
+from repro.graph.models import EVALUATED_MODELS
+
+
+@dataclass
+class Fig4Result:
+    n_samples: int
+    train_rmse_log10: float
+    holdout_rmse_log10: float
+    holdout_mean_rel_error: float
+    #: class -> mean relative latency error on holdout
+    per_class_rel_error: Dict[str, float]
+
+    def render(self) -> str:
+        rows = [
+            ("samples", self.n_samples),
+            ("train RMSE (log10 ms)", self.train_rmse_log10),
+            ("holdout RMSE (log10 ms)", self.holdout_rmse_log10),
+            ("holdout mean rel. error", f"{self.holdout_mean_rel_error * 100:.1f}%"),
+        ]
+        summary = render_table(["Metric", "Value"], rows, title="Figure 4 — latency model accuracy")
+        per_class = render_table(
+            ["Operator class", "Mean rel. error"],
+            [(k, f"{v * 100:.1f}%") for k, v in sorted(self.per_class_rel_error.items())],
+        )
+        return summary + "\n\n" + per_class
+
+
+def run(device: str = DEFAULT_DEVICE, *, seed: int = 0, max_ops_per_model: int = 24) -> Fig4Result:
+    dev = get_device(device)
+    profiler = LoadCapacityProfiler(dev, seed=seed)
+    graphs = [cached_graph(m) for m in EVALUATED_MODELS]
+    dataset = profiler.profile_models(graphs, max_ops_per_model=max_ops_per_model)
+    model = LoadCapacityModel.from_dataset(dev, dataset, seed=seed)
+    assert model.report is not None
+
+    # Per-class relative error on a fresh holdout.
+    _, holdout = dataset.split(holdout=0.2, seed=seed)
+    per_class: Dict[str, List[float]] = {}
+    for sample in holdout.samples:
+        pred = model.regressor.predict(featurize(sample.op, sample.extra_bytes).reshape(1, -1))[0]
+        rel = abs(10**pred - sample.latency_ms) / max(1e-9, sample.latency_ms)
+        per_class.setdefault(sample.op.op_class.value, []).append(rel)
+    return Fig4Result(
+        n_samples=model.report.n_samples,
+        train_rmse_log10=model.report.train_rmse_log10,
+        holdout_rmse_log10=model.report.holdout_rmse_log10,
+        holdout_mean_rel_error=model.report.holdout_mean_rel_error,
+        per_class_rel_error={k: float(np.mean(v)) for k, v in per_class.items()},
+    )

@@ -1,0 +1,74 @@
+"""Figure 6 — multi-model FIFO support: FlashMem vs MNN memory over time.
+
+Four representative models run 10 interleaved iterations each in a seeded
+random order.  The driver stitches the session memory timeline for both
+runtimes; MNN re-initialises per invocation (repeated spikes), FlashMem
+streams every invocation under its overlap plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.common import DEFAULT_DEVICE, flashmem_result, framework_result
+from repro.experiments.report import render_table
+from repro.runtime.multimodel import FifoPipeline, PipelineResult, fifo_schedule
+
+MODELS = ["ViT", "DeepViT", "GPTN-S", "SD-UNet"]
+
+
+@dataclass
+class Fig6Result:
+    flashmem: PipelineResult
+    mnn: PipelineResult
+    sequence: List[str]
+
+    @property
+    def peak_ratio(self) -> float:
+        return self.mnn.peak_memory_bytes / max(1, self.flashmem.peak_memory_bytes)
+
+    def series(self, runtime: str, resolution_ms: float = 500.0) -> List[Tuple[float, int]]:
+        result = self.flashmem if runtime == "FlashMem" else self.mnn
+        return result.memory.series(resolution_ms=resolution_ms, end_ms=result.total_ms)
+
+    def render(self) -> str:
+        rows = [
+            ("FlashMem", self.flashmem.total_ms, self.flashmem.peak_memory_bytes / 1e6,
+             self.flashmem.avg_memory_bytes / 1e6, self.flashmem.energy_j),
+            ("MNN", self.mnn.total_ms, self.mnn.peak_memory_bytes / 1e6,
+             self.mnn.avg_memory_bytes / 1e6, self.mnn.energy_j),
+        ]
+        summary = render_table(
+            ["Runtime", "Session (ms)", "Peak (MB)", "Avg (MB)", "Energy (J)"],
+            rows,
+            title=f"Figure 6 — FIFO multi-model session ({len(self.sequence)} invocations)",
+        )
+        spikes = render_table(
+            ["Invocation", "Model", "FlashMem peak (MB)", "MNN peak (MB)"],
+            [
+                (i, inv_f.model, inv_f.peak_memory_bytes / 1e6, inv_m.peak_memory_bytes / 1e6)
+                for i, (inv_f, inv_m) in enumerate(
+                    zip(self.flashmem.invocations[:8], self.mnn.invocations[:8])
+                )
+            ],
+            title="First invocations",
+        )
+        return summary + "\n\n" + spikes
+
+
+def run(device: str = DEFAULT_DEVICE, *, iterations: int = 10, seed: int = 7) -> Fig6Result:
+    sequence = fifo_schedule(MODELS, iterations, seed=seed)
+    flash_pipeline = FifoPipeline("FlashMem", device, lambda m: flashmem_result(m, device))
+
+    def run_mnn(model: str):
+        result = framework_result("MNN", model, device)
+        assert result is not None, f"MNN must support {model} for Figure 6"
+        return result
+
+    mnn_pipeline = FifoPipeline("MNN", device, run_mnn)
+    return Fig6Result(
+        flashmem=flash_pipeline.run(sequence),
+        mnn=mnn_pipeline.run(sequence),
+        sequence=sequence,
+    )

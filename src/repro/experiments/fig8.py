@@ -1,0 +1,77 @@
+"""Figure 8 — memory/latency trade-off vs preload ratio.
+
+Sweeps the preload ratio (the λ / M_peak knob exposed as
+``target_preload_ratio``) and reports integrated latency, execution latency,
+and average memory per model.  The paper's observation: overlapping ~49.3%
+of weights costs negligible latency versus full preloading while saving
+substantial memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.flashmem import FlashMem
+from repro.experiments.common import (
+    DEFAULT_DEVICE,
+    cached_capacity,
+    cached_graph,
+    experiment_flashmem_config,
+)
+from repro.experiments.report import render_table
+from repro.gpusim.device import get_device
+
+MODELS = ["ViT", "GPTN-S", "GPTN-1.3B"]
+RATIOS: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass
+class Fig8Point:
+    model: str
+    target_ratio: float
+    achieved_ratio: float
+    integrated_ms: float
+    exec_ms: float
+    avg_memory_mb: float
+
+
+@dataclass
+class Fig8Result:
+    points: List[Fig8Point]
+
+    def series(self, model: str) -> List[Fig8Point]:
+        return [p for p in self.points if p.model == model]
+
+    def render(self) -> str:
+        return render_table(
+            ["Model", "Target preload", "Achieved", "Integrated (ms)", "Exec (ms)", "Avg mem (MB)"],
+            [
+                (p.model, p.target_ratio, p.achieved_ratio, p.integrated_ms, p.exec_ms, p.avg_memory_mb)
+                for p in self.points
+            ],
+            title="Figure 8 — memory/latency trade-off vs preload ratio",
+        )
+
+
+def run(device: str = DEFAULT_DEVICE, *, models: Optional[List[str]] = None) -> Fig8Result:
+    dev = get_device(device)
+    capacity = cached_capacity(device)
+    fm = FlashMem(experiment_flashmem_config())
+    points: List[Fig8Point] = []
+    for model in models or MODELS:
+        graph = cached_graph(model)
+        for ratio in RATIOS:
+            compiled = fm.compile(graph, dev, capacity=capacity, target_preload_ratio=ratio)
+            result = fm.run(compiled)
+            points.append(
+                Fig8Point(
+                    model=model,
+                    target_ratio=ratio,
+                    achieved_ratio=compiled.preload_ratio,
+                    integrated_ms=result.latency_ms,
+                    exec_ms=result.latency_ms - result.details["preload_end_ms"],
+                    avg_memory_mb=result.avg_memory_mb,
+                )
+            )
+    return Fig8Result(points=points)

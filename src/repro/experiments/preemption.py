@@ -1,0 +1,78 @@
+"""Extension — preemptive multi-DNN scheduling (paper Figure 1(c)).
+
+A latency-critical model preempts a long-running one mid-inference.  The
+driver compares FlashMem (tiny resident state; victim resumes by
+re-streaming its remaining layers) with a SmartMem-style preloader (victim's
+full weight set stays resident under the urgent model; resuming means a full
+re-initialization after eviction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.common import DEFAULT_DEVICE, flashmem_result, framework_result
+from repro.experiments.report import render_table
+from repro.gpusim.device import get_device
+from repro.runtime.preemptive import flashmem_resume_factory, run_preemption_episode
+
+VICTIM = "DeepViT"
+URGENT = "ResNet50"
+
+
+@dataclass
+class PreemptionRow:
+    runtime: str
+    urgent_completion_ms: float
+    session_ms: float
+    peak_mb: float
+
+
+@dataclass
+class PreemptionResult:
+    rows: List[PreemptionRow]
+    victim: str = VICTIM
+    urgent: str = URGENT
+
+    def row(self, runtime: str) -> PreemptionRow:
+        return next(r for r in self.rows if r.runtime == runtime)
+
+    def render(self) -> str:
+        return render_table(
+            ["Runtime", "Urgent completion (ms)", "Session (ms)", "Peak (MB)"],
+            [(r.runtime, r.urgent_completion_ms, r.session_ms, r.peak_mb) for r in self.rows],
+            title=(
+                f"Extension — preemption: {self.urgent} interrupts {self.victim} "
+                "at 50% progress"
+            ),
+        )
+
+
+def run(device: str = DEFAULT_DEVICE) -> PreemptionResult:
+    dev = get_device(device)
+    setup_ms = dev.gpu_setup_ms
+
+    flash_victim = lambda: flashmem_result(VICTIM, device)
+    flash_urgent = lambda: flashmem_result(URGENT, device)
+    flash = run_preemption_episode(
+        "FlashMem",
+        flash_victim,
+        flash_urgent,
+        victim_resume=flashmem_resume_factory(flash_victim, setup_ms=setup_ms),
+    )
+
+    smem_victim = lambda: framework_result("SMem", VICTIM, device)
+    smem_urgent = lambda: framework_result("SMem", URGENT, device)
+    smem = run_preemption_episode("SMem (evict+restart)", smem_victim, smem_urgent)
+
+    rows = [
+        PreemptionRow(
+            runtime=o.runtime,
+            urgent_completion_ms=o.urgent_completion_ms,
+            session_ms=o.session_ms,
+            peak_mb=o.peak_memory_bytes / 1e6,
+        )
+        for o in (flash, smem)
+    ]
+    return PreemptionResult(rows=rows)

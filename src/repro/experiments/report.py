@@ -1,0 +1,57 @@
+"""Plain-text table/series rendering for the experiment drivers.
+
+Every driver returns structured data plus a ``render()`` helper so the
+benches can print the same rows the paper's tables/figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], *, title: str = "") -> str:
+    """Align columns and render a monospaced table."""
+    str_rows: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, points: Sequence[tuple], *, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an (x, y) series as aligned columns (figure data)."""
+    headers = [x_label, y_label]
+    return render_table(headers, points, title=name)
+
+
+def ratio(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    """a / b, tolerating missing values and zero denominators."""
+    if a is None or b is None or b == 0:
+        return None
+    return a / b

@@ -1,0 +1,70 @@
+"""Table 1 — motivation: preloading cost on the OnePlus 12 under MNN.
+
+Reports per-model peak/average memory and the load / transformation /
+inference latency split for Whisper-Medium, GPTNeo-Small, and SD-UNet, as
+the paper's introduction measures with MNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import DEFAULT_DEVICE, cached_graph, framework_result
+from repro.experiments.report import render_table
+
+MODELS = ["Whisp-M", "GPTN-S", "SD-UNet"]
+
+#: Paper-reported values for EXPERIMENTS.md comparison:
+#: model -> (peak MB, avg MB, load ms, trans ms, infer ms)
+PAPER_TABLE1: Dict[str, Tuple[float, float, float, float, float]] = {
+    "Whisp-M": (4077, 1650, 2702, 3441, 1343),
+    "GPTN-S": (1026, 610, 631, 2898, 337),
+    "SD-UNet": (4858, 1800, 4159, 17588, 1647),
+}
+
+
+@dataclass
+class Table1Row:
+    model: str
+    params_m: float
+    peak_mb: float
+    avg_mb: float
+    load_ms: float
+    trans_ms: float
+    infer_ms: float
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row]
+
+    def render(self) -> str:
+        return render_table(
+            ["Model", "Params(M)", "Peak(MB)", "Avg(MB)", "Load(ms)", "Trans(ms)", "Infer(ms)"],
+            [
+                (r.model, r.params_m, r.peak_mb, r.avg_mb, r.load_ms, r.trans_ms, r.infer_ms)
+                for r in self.rows
+            ],
+            title="Table 1 — preloading memory/latency under MNN (OnePlus 12)",
+        )
+
+
+def run(device: str = DEFAULT_DEVICE) -> Table1Result:
+    rows = []
+    for model in MODELS:
+        result = framework_result("MNN", model, device)
+        assert result is not None, f"MNN must support {model} for Table 1"
+        graph = cached_graph(model)
+        rows.append(
+            Table1Row(
+                model=model,
+                params_m=graph.total_params / 1e6,
+                peak_mb=result.peak_memory_mb,
+                avg_mb=result.avg_memory_mb,
+                load_ms=result.phases.load,
+                trans_ms=result.phases.transform,
+                infer_ms=result.phases.execute,
+            )
+        )
+    return Table1Result(rows=rows)

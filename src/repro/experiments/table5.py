@@ -1,0 +1,59 @@
+"""Table 5 — operator classification and load-capacity characteristics.
+
+Prints the class characterization (memory bandwidth / tolerance / compute
+intensity / threshold) and verifies it against the measured capacities of
+representative operators on the default device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.capacity.classify import TABLE5_ROWS
+from repro.capacity.model import analytic_capacity_model
+from repro.experiments.common import DEFAULT_DEVICE
+from repro.experiments.fig2 import representative_ops
+from repro.experiments.report import render_table
+from repro.gpusim.device import get_device
+
+
+@dataclass
+class Table5Result:
+    #: (class, M.B., L.C. tolerance, C.I., threshold, examples)
+    class_rows: List[tuple]
+    #: (operator, class, measured capacity MB)
+    measured_rows: List[tuple]
+
+    def render(self) -> str:
+        classes = render_table(
+            ["Operator Type", "M.B.", "L.C. Tolerance", "C.I.", "Threshold", "Examples"],
+            self.class_rows,
+            title="Table 5 — operator classification",
+        )
+        measured = render_table(
+            ["Operator", "Class", "Capacity (MB)"],
+            self.measured_rows,
+            title="Measured load capacities (OnePlus 12 shapes)",
+        )
+        return classes + "\n\n" + measured
+
+
+def run(device: str = DEFAULT_DEVICE) -> Table5Result:
+    class_rows = [
+        (
+            r.op_class.value,
+            r.memory_bandwidth,
+            r.lc_tolerance,
+            r.compute_intensity,
+            f"{r.threshold * 100:.0f}%",
+            r.examples,
+        )
+        for r in TABLE5_ROWS
+    ]
+    capacity = analytic_capacity_model(get_device(device))
+    measured_rows = [
+        (name, op.op_class.value, capacity.capacity_bytes(op) / 1e6)
+        for name, op in representative_ops().items()
+    ]
+    return Table5Result(class_rows=class_rows, measured_rows=measured_rows)

@@ -1,0 +1,67 @@
+"""Table 6 — model characterization: paper-reported vs built graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.common import cached_graph
+from repro.experiments.report import render_table
+from repro.graph.models import EVALUATED_MODELS, MODEL_CARDS
+
+
+@dataclass
+class Table6Row:
+    model: str
+    task: str
+    paper_params_m: float
+    built_params_m: float
+    paper_macs_g: float
+    built_macs_g: float
+    paper_layers: int
+    built_layers: int
+
+
+@dataclass
+class Table6Result:
+    rows: List[Table6Row]
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "Model", "Task",
+                "Params(M) paper", "built",
+                "MACs(G) paper", "built",
+                "Layers paper", "built",
+            ],
+            [
+                (
+                    r.model, r.task,
+                    r.paper_params_m, r.built_params_m,
+                    r.paper_macs_g, r.built_macs_g,
+                    r.paper_layers, r.built_layers,
+                )
+                for r in self.rows
+            ],
+            title="Table 6 — model characterization (paper vs built)",
+        )
+
+
+def run() -> Table6Result:
+    rows = []
+    for abbr in EVALUATED_MODELS:
+        card = MODEL_CARDS[abbr]
+        graph = cached_graph(abbr)
+        rows.append(
+            Table6Row(
+                model=abbr,
+                task=card.task,
+                paper_params_m=card.paper_params_m,
+                built_params_m=graph.total_params / 1e6,
+                paper_macs_g=card.paper_macs_g,
+                built_macs_g=graph.total_macs / 1e9,
+                paper_layers=card.paper_layers,
+                built_layers=graph.num_layers,
+            )
+        )
+    return Table6Result(rows=rows)

@@ -1,0 +1,107 @@
+"""Table 7 — end-to-end latency: every model x every framework.
+
+Reports init/exec for the six preloading baselines, the integrated latency
+for FlashMem, the per-model speedups over SmartMem and over the best
+commercial framework, and the per-framework geo-mean speedups the paper
+headlines (6.1x / 2.9x / 6.2x / 1.7x / 75x / 8.6x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import DEFAULT_DEVICE, flashmem_result, framework_result
+from repro.experiments.report import render_table
+from repro.graph.models import EVALUATED_MODELS
+from repro.gpusim.timeline import geo_mean
+from repro.runtime.frameworks import BASELINE_ORDER
+
+#: Paper geo-mean speedups over FlashMem, for EXPERIMENTS.md comparison.
+PAPER_GEOMEAN_SPEEDUP = {
+    "MNN": 6.1, "NCNN": 2.9, "TVM": 6.2, "LiteRT": 1.7, "ETorch": 75.0, "SMem": 8.6,
+}
+
+#: Paper FlashMem integrated latencies (ms).
+PAPER_FLASHMEM_MS = {
+    "GPTN-S": 577, "GPTN-1.3B": 3086, "GPTN-2.7B": 7567, "ResNet50": 473,
+    "SAM-2": 1267, "ViT": 347, "DeepViT": 785, "SD-UNet": 3212,
+    "Whisp-M": 1565, "DepA-S": 496, "DepA-L": 1382,
+}
+
+
+@dataclass
+class Table7Row:
+    model: str
+    #: framework -> (init ms, exec ms) or None when unsupported.
+    baselines: Dict[str, Optional[tuple]]
+    flashmem_ms: float
+    speedup_smem: Optional[float]
+    speedup_best_commercial: Optional[float]
+
+
+@dataclass
+class Table7Result:
+    rows: List[Table7Row]
+    geomean_speedup: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Model"]
+        for fw in BASELINE_ORDER:
+            headers += [f"{fw} init", f"{fw} exec"]
+        headers += ["Ours (integrated)", "Speedup/SMem", "Speedup/commercial"]
+        rows = []
+        for r in self.rows:
+            cells: List = [r.model]
+            for fw in BASELINE_ORDER:
+                pair = r.baselines.get(fw)
+                cells += list(pair) if pair else [None, None]
+            cells += [r.flashmem_ms, r.speedup_smem, r.speedup_best_commercial]
+            rows.append(cells)
+        main = render_table(headers, rows, title="Table 7 — end-to-end latency (ms)")
+        geo = render_table(
+            ["Framework", "Geo-mean speedup vs FlashMem", "Paper"],
+            [
+                (fw, self.geomean_speedup.get(fw), PAPER_GEOMEAN_SPEEDUP.get(fw))
+                for fw in BASELINE_ORDER
+            ],
+        )
+        return main + "\n\n" + geo
+
+
+def run(device: str = DEFAULT_DEVICE, *, models: Optional[List[str]] = None) -> Table7Result:
+    models = models or EVALUATED_MODELS
+    rows: List[Table7Row] = []
+    speedups: Dict[str, List[float]] = {fw: [] for fw in BASELINE_ORDER}
+    for model in models:
+        ours = flashmem_result(model, device)
+        baselines: Dict[str, Optional[tuple]] = {}
+        commercial: List[float] = []
+        smem_total: Optional[float] = None
+        for fw in BASELINE_ORDER:
+            result = framework_result(fw, model, device)
+            if result is None:
+                baselines[fw] = None
+                continue
+            init = result.details["init_ms"]
+            execute = result.details["exec_per_iter_ms"]
+            baselines[fw] = (init, execute)
+            total = result.latency_ms
+            speedups[fw].append(total / ours.latency_ms)
+            if fw == "SMem":
+                smem_total = total
+            else:
+                commercial.append(total)
+        rows.append(
+            Table7Row(
+                model=model,
+                baselines=baselines,
+                flashmem_ms=ours.latency_ms,
+                speedup_smem=(smem_total / ours.latency_ms) if smem_total else None,
+                speedup_best_commercial=(min(commercial) / ours.latency_ms) if commercial else None,
+            )
+        )
+    return Table7Result(
+        rows=rows,
+        geomean_speedup={fw: geo_mean(vals) for fw, vals in speedups.items() if vals},
+    )

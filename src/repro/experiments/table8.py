@@ -1,0 +1,92 @@
+"""Table 8 — average memory consumption: every model x every framework.
+
+Reports per-model average memory and the Mem-ReDT column (reduction over
+SmartMem), plus per-framework geo-mean reductions (paper: 3.2x / 2.0x /
+8.4x / 7.9x / 3.4x / 3.5x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import DEFAULT_DEVICE, flashmem_result, framework_result
+from repro.experiments.report import render_table
+from repro.graph.models import EVALUATED_MODELS
+from repro.gpusim.timeline import geo_mean
+from repro.runtime.frameworks import BASELINE_ORDER
+
+#: Paper geo-mean memory reductions vs FlashMem.
+PAPER_GEOMEAN_REDUCTION = {
+    "MNN": 3.2, "NCNN": 2.0, "TVM": 8.4, "LiteRT": 7.9, "ETorch": 3.4, "SMem": 3.5,
+}
+
+#: Paper FlashMem average memory (MB).
+PAPER_FLASHMEM_MB = {
+    "GPTN-S": 260, "GPTN-1.3B": 554, "GPTN-2.7B": 1132, "ResNet50": 83,
+    "SAM-2": 150, "ViT": 83, "DeepViT": 165, "SD-UNet": 838,
+    "Whisp-M": 240, "DepA-S": 86, "DepA-L": 246,
+}
+
+
+@dataclass
+class Table8Row:
+    model: str
+    baselines: Dict[str, Optional[float]]  # framework -> avg MB
+    flashmem_mb: float
+    mem_redt: Optional[float]  # reduction over SmartMem
+
+
+@dataclass
+class Table8Result:
+    rows: List[Table8Row]
+    geomean_reduction: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Model"] + BASELINE_ORDER + ["Ours", "Mem-ReDT"]
+        rows = []
+        for r in self.rows:
+            cells: List = [r.model]
+            cells += [r.baselines.get(fw) for fw in BASELINE_ORDER]
+            cells += [r.flashmem_mb, r.mem_redt]
+            rows.append(cells)
+        main = render_table(headers, rows, title="Table 8 — average memory (MB)")
+        geo = render_table(
+            ["Framework", "Geo-mean reduction vs FlashMem", "Paper"],
+            [
+                (fw, self.geomean_reduction.get(fw), PAPER_GEOMEAN_REDUCTION.get(fw))
+                for fw in BASELINE_ORDER
+            ],
+        )
+        return main + "\n\n" + geo
+
+
+def run(device: str = DEFAULT_DEVICE, *, models: Optional[List[str]] = None) -> Table8Result:
+    models = models or EVALUATED_MODELS
+    rows: List[Table8Row] = []
+    reductions: Dict[str, List[float]] = {fw: [] for fw in BASELINE_ORDER}
+    for model in models:
+        ours = flashmem_result(model, device)
+        baselines: Dict[str, Optional[float]] = {}
+        smem_mb: Optional[float] = None
+        for fw in BASELINE_ORDER:
+            result = framework_result(fw, model, device)
+            if result is None:
+                baselines[fw] = None
+                continue
+            baselines[fw] = result.avg_memory_mb
+            reductions[fw].append(result.avg_memory_mb / ours.avg_memory_mb)
+            if fw == "SMem":
+                smem_mb = result.avg_memory_mb
+        rows.append(
+            Table8Row(
+                model=model,
+                baselines=baselines,
+                flashmem_mb=ours.avg_memory_mb,
+                mem_redt=(smem_mb / ours.avg_memory_mb) if smem_mb else None,
+            )
+        )
+    return Table8Result(
+        rows=rows,
+        geomean_reduction={fw: geo_mean(vals) for fw, vals in reductions.items() if vals},
+    )

@@ -1,0 +1,169 @@
+"""Operator fusion pass (paper §4.3).
+
+Fuses linear chains of operators into single kernels the way DNNFusion-class
+mobile compilers do: a *reusable* anchor (MatMul/Conv) absorbs the trailing
+*elemental* ops that consume its output ("MatMul+Add+GeLU"), and runs of
+elemental ops merge together.  Hierarchical operators are never fused into a
+group (their stage synchronisation must own the kernel) and act as fusion
+barriers.
+
+Fusion shrinks kernel-launch overhead and intermediate tensors, but a fused
+kernel's load capacity collapses to roughly ``min(C_i)`` of its members
+(§4.3) — the tension the adaptive protocol in
+:mod:`repro.fusion.adaptive` resolves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.dag import Graph, Node
+from repro.graph.ops import OpClass, OpSpec
+
+#: OpSpec attr key carrying the member specs of a fused node.
+FUSED_MEMBERS = "fused_members"
+
+
+def is_fused(spec: OpSpec) -> bool:
+    return FUSED_MEMBERS in spec.attrs
+
+
+def fused_members(spec: OpSpec) -> List[OpSpec]:
+    """Member specs of a fused node (itself, if not fused)."""
+    return list(spec.attrs.get(FUSED_MEMBERS, [spec]))
+
+
+def make_fused_spec(name: str, members: Sequence[OpSpec]) -> OpSpec:
+    """Combine a chain of member specs into one fused-kernel spec.
+
+    The fused kernel reads the first member's inputs, writes the last
+    member's output, carries every member's weights, does the summed
+    arithmetic, and is classified by its dominant member (reusable if any
+    member is reusable — the anchor defines the kernel's loop structure).
+    """
+    if not members:
+        raise ValueError("fused spec needs at least one member")
+    anchor = next((m for m in members if m.op_class is OpClass.REUSABLE), members[0])
+    weights = [w for m in members for w in m.weights]
+    # Intermediate tensors stay in registers/local memory: only the chain's
+    # boundary tensors count as memory traffic.
+    return OpSpec(
+        kind=anchor.kind,
+        name=name,
+        flops=sum(m.flops for m in members),
+        input_specs=members[0].input_specs,
+        output_spec=members[-1].output_spec,
+        weights=weights,
+        attrs={FUSED_MEMBERS: list(members), "anchor": anchor.name},
+    )
+
+
+def _fusable_follower(node: Node) -> bool:
+    """Whether ``node`` may be absorbed into the group feeding it."""
+    if node.op_class is not OpClass.ELEMENTAL:
+        return False
+    # Single predecessor inside the chain, i.e. a pure pipeline stage.
+    return len(node.inputs) <= 2  # residual adds keep a second (external) input
+
+
+def fuse_graph(graph: Graph, *, max_group: int = 4) -> Graph:
+    """Produce a fused graph.
+
+    Grouping rule: walk the execution order; start a group at a reusable or
+    elemental node and extend it while the next node (a) is the unique
+    consumer of the group's tail, (b) is elemental, and (c) the group stays
+    under ``max_group`` members.  Hierarchical and layout nodes pass through
+    unfused.
+    """
+    graph.freeze()
+    groups: List[List[Node]] = []
+    group_of: Dict[str, int] = {}
+    for node in graph.nodes():
+        if node.op_class in (OpClass.HIERARCHICAL, OpClass.LAYOUT):
+            group_of[node.name] = len(groups)
+            groups.append([node])
+            continue
+        # Try to join the group of the producing node.
+        join: Optional[int] = None
+        if (
+            _fusable_follower(node)
+            and node.inputs
+        ):
+            producer = node.inputs[0]
+            gid = group_of.get(producer.name)
+            if gid is not None:
+                group = groups[gid]
+                tail = group[-1]
+                if (
+                    tail.name == producer.name
+                    and len(tail.outputs) == 1
+                    and len(group) < max_group
+                    and tail.op_class is not OpClass.HIERARCHICAL
+                    and tail.op_class is not OpClass.LAYOUT
+                    # Every other parent must come from an earlier group, or
+                    # the rebuilt DAG would contain a forward edge (cycle).
+                    and all(group_of[p.name] <= gid for p in node.inputs)
+                ):
+                    join = gid
+        if join is not None:
+            group_of[node.name] = join
+            groups[join].append(node)
+        else:
+            group_of[node.name] = len(groups)
+            groups.append([node])
+
+    # Rebuild the graph with one node per group.
+    out = Graph(graph.name)
+    new_nodes: List[Node] = []
+    for gid, group in enumerate(groups):
+        if len(group) == 1:
+            spec = group[0].spec
+        else:
+            spec = make_fused_spec("+".join(n.name for n in group), [n.spec for n in group])
+        member_names = {n.name for n in group}
+        input_gids: List[int] = []
+        seen = set()
+        for member in group:
+            for parent in member.inputs:
+                if parent.name in member_names:
+                    continue
+                pgid = group_of[parent.name]
+                if pgid not in seen:
+                    seen.add(pgid)
+                    input_gids.append(pgid)
+        inputs = [new_nodes[pgid] for pgid in input_gids]
+        new_nodes.append(out.add(spec, inputs=inputs))
+    return out.freeze()
+
+
+def unfuse_node(spec: OpSpec) -> List[OpSpec]:
+    """Split a fused spec back into sub-kernels by operator class.
+
+    Operator-specific rule ① from §4.3: a Reusable+Elemental fusion splits
+    into the reusable prefix and the elemental suffix (e.g.
+    "MatMul+Add+GeLU" -> "MatMul+Add" and "GeLU"), restoring one capacity
+    boundary.  Non-fused or two-member specs split fully into members.
+    """
+    members = fused_members(spec)
+    if len(members) <= 1:
+        return [spec]
+    if len(members) == 2:
+        return list(members)
+    # Keep the reusable anchor with its first follower; split off the rest.
+    head = members[:-1]
+    tail = members[-1:]
+    head_spec = head[0] if len(head) == 1 else make_fused_spec("+".join(m.name for m in head), head)
+    tail_spec = tail[0]
+    return [head_spec, tail_spec]
+
+
+def fusion_stats(graph: Graph) -> Dict[str, int]:
+    """Counts: total nodes, fused nodes, members absorbed."""
+    graph.freeze()
+    fused_nodes = [n for n in graph.nodes() if is_fused(n.spec)]
+    absorbed = sum(len(fused_members(n.spec)) - 1 for n in fused_nodes)
+    return {
+        "nodes": len(graph),
+        "fused_nodes": len(fused_nodes),
+        "absorbed_members": absorbed,
+    }

@@ -1,0 +1,88 @@
+"""Fusion penalty scores (paper §4.3).
+
+``Penalty(v_fused) = λ|W_new| + μ·Δz_w`` — the preload bytes a fusion forced
+into W plus the loading distance it cost the affected weights.  The adaptive
+protocol ranks fused kernels by this score to pick splitting candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.fusion.fuser import is_fused
+from repro.graph.dag import Graph
+from repro.opg.plan import OverlapPlan
+
+
+@dataclass(frozen=True)
+class FusionPenalty:
+    """Penalty attribution for one fused node."""
+
+    node: str
+    layer: int
+    preload_bytes: int   # |W_new|: preloaded weight bytes owned by the node
+    distance_cost: int   # Δz proxy: extra loading distance of its weights
+    score: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.node}: score={self.score:.1f} (preload={self.preload_bytes}, Δz={self.distance_cost})"
+
+
+def fusion_penalties(
+    graph: Graph, plan: OverlapPlan, *, lam: float = 0.9, mu: float = 0.1
+) -> List[FusionPenalty]:
+    """Score every fused node in ``graph`` against the solved ``plan``.
+
+    A fused node is penalised for (a) its own weights that ended up
+    preloaded (fusion collapsed the capacity that could have streamed them)
+    and (b) the loading distance of the weights it *does* stream beyond the
+    minimum of 1 layer (capacity starvation pushes transforms earlier).
+    Scores are in MB-equivalents so λ and μ weigh comparable magnitudes.
+    """
+    penalties: List[FusionPenalty] = []
+    for node in graph.nodes():
+        if not is_fused(node.spec):
+            continue
+        preload_bytes = 0
+        distance_cost = 0
+        for w in node.weights:
+            sched = plan.schedules.get(w.name)
+            if sched is None:
+                continue
+            if sched.preloaded:
+                preload_bytes += sched.nbytes
+            else:
+                distance_cost += max(0, sched.loading_distance - 1)
+        score = lam * (preload_bytes / 1e6) + mu * distance_cost
+        if score > 0:
+            penalties.append(
+                FusionPenalty(
+                    node=node.name,
+                    layer=node.index,
+                    preload_bytes=preload_bytes,
+                    distance_cost=distance_cost,
+                    score=score,
+                )
+            )
+    penalties.sort(key=lambda p: p.score, reverse=True)
+    return penalties
+
+
+def plan_pressure(plan: OverlapPlan, graph: Graph) -> float:
+    """Fraction of *streamable* weight bytes the plan had to preload anyway.
+
+    Weights whose consumers are the first layers are excluded — they are in
+    W by construction, not because of fusion.  This is the residual-capacity
+    violation signal that triggers the adaptive protocol.
+    """
+    first_use: Dict[str, int] = graph.weight_first_use()
+    avoidable = 0
+    total = 0
+    for name, sched in plan.schedules.items():
+        if first_use.get(name, 1) == 0:
+            continue
+        total += sched.nbytes
+        if sched.preloaded:
+            avoidable += sched.nbytes
+    return avoidable / total if total else 0.0

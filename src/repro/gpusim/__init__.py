@@ -1,0 +1,45 @@
+"""Discrete-event simulator of the mobile GPU memory hierarchy.
+
+Models the disk -> unified memory -> 2.5D texture memory -> SM path of
+Figure 1(a): device profiles, dual command queues, memory pools with
+residency accounting, an analytic kernel cost model with overlap
+interference, and a phase-based energy model.
+"""
+
+from repro.gpusim.device import (
+    DEVICE_PRESETS,
+    DeviceProfile,
+    PowerRails,
+    get_device,
+    oneplus_11,
+    oneplus_12,
+    pixel_8,
+    xiaomi_mi6,
+)
+from repro.gpusim.engine import Simulation
+from repro.gpusim.kernels import KernelCostModel
+from repro.gpusim.memory import MemoryPool, OutOfMemoryError
+from repro.gpusim.queues import CommandQueue, DualQueue, QueueEvent
+from repro.gpusim.timeline import MemoryTimeline, Phases, RunResult, geo_mean
+
+__all__ = [
+    "DEVICE_PRESETS",
+    "DeviceProfile",
+    "PowerRails",
+    "get_device",
+    "oneplus_11",
+    "oneplus_12",
+    "pixel_8",
+    "xiaomi_mi6",
+    "Simulation",
+    "KernelCostModel",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "CommandQueue",
+    "DualQueue",
+    "QueueEvent",
+    "MemoryTimeline",
+    "Phases",
+    "RunResult",
+    "geo_mean",
+]

@@ -1,0 +1,162 @@
+"""Device profiles for the simulated mobile GPUs.
+
+Each profile captures the hardware quantities the paper's Figure 1(a)
+hierarchy exposes: disk -> unified memory -> texture memory -> SM, plus the
+compute throughput, kernel launch overhead, and the power rails the energy
+model integrates.  Values are calibrated so the simulator lands in the same
+magnitude range as the paper's OnePlus 12 measurements (see DESIGN.md §1).
+
+Units: bandwidth in bytes/ms (1 GB/s == 1e6 bytes/ms), time in ms, power in
+watts, memory in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+GB_PER_S = 1e6  # bytes per ms
+
+
+@dataclass(frozen=True)
+class PowerRails:
+    """Average power draw per execution phase, in watts."""
+
+    idle_w: float = 0.8
+    io_w: float = 3.0          # disk -> unified memory streaming (SoC active)
+    compute_w: float = 5.0     # GPU kernels running
+    overlap_w: float = 6.2     # compute + concurrent streaming
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A simulated mobile SoC: memory hierarchy bandwidths + GPU capability.
+
+    Attributes:
+        name: marketing name of the phone.
+        gpu: GPU block (Adreno/Mali).
+        ram_bytes: total device RAM; runtimes that exceed a budgeted share of
+            this fail with OOM (Figure 10 empty bars).
+        disk_bw: effective flash sequential-read bandwidth (bytes/ms).
+        disk_latency_ms: per-request latency of a flash read.
+        um_bw: unified (LPDDR) memory bandwidth seen by the GPU (bytes/ms).
+        tm_upload_bw: raw texture-upload path bandwidth (bytes/ms) for the
+            rewritten, vectorised in-kernel loads FlashMem uses.
+        fp16_gflops: *effective* fp16 arithmetic throughput, GFLOP/s, already
+            discounted for achievable SM occupancy on DNN kernels.
+        kernel_launch_ms: per-kernel dispatch overhead.
+        gpu_setup_ms: one-off GPU context/program setup paid by every
+            runtime at process start (OpenCL context + compile cache).
+        os_reserve_bytes: RAM held by the OS, system services, and other
+            apps; a single app may use ``ram - reserve`` before the
+            low-memory killer fires.
+        power: phase power rails.
+    """
+
+    name: str
+    gpu: str
+    ram_bytes: int
+    disk_bw: float
+    disk_latency_ms: float
+    um_bw: float
+    tm_upload_bw: float
+    fp16_gflops: float
+    kernel_launch_ms: float
+    gpu_setup_ms: float
+    os_reserve_bytes: int = int(2.8 * 1024**3)
+    power: PowerRails = field(default_factory=PowerRails)
+
+    @property
+    def ram_budget_bytes(self) -> int:
+        """Memory an app can use before the OS kills it."""
+        return max(self.ram_bytes // 4, self.ram_bytes - self.os_reserve_bytes)
+
+    def compute_time_ms(self, flops: int) -> float:
+        """Pure arithmetic time for ``flops`` at effective throughput."""
+        return flops / (self.fp16_gflops * 1e6)
+
+    def memory_time_ms(self, nbytes: int) -> float:
+        """Pure memory-traffic time for ``nbytes`` through unified memory."""
+        return nbytes / self.um_bw
+
+    def scaled(self, **overrides: object) -> "DeviceProfile":
+        """Copy with fields replaced (for what-if sweeps)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+def oneplus_12() -> DeviceProfile:
+    """OnePlus 12: Adreno 750, 16 GB RAM, UFS 4.0 (primary eval device)."""
+    return DeviceProfile(
+        name="OnePlus 12",
+        gpu="Adreno 750",
+        ram_bytes=16 * 1024**3,
+        disk_bw=1.00 * GB_PER_S,
+        disk_latency_ms=0.08,
+        um_bw=42.0 * GB_PER_S,
+        tm_upload_bw=5.0 * GB_PER_S,
+        fp16_gflops=650.0,
+        kernel_launch_ms=0.045,
+        gpu_setup_ms=300.0,
+    )
+
+
+def oneplus_11() -> DeviceProfile:
+    """OnePlus 11: Adreno 740, 16 GB RAM, UFS 4.0."""
+    return DeviceProfile(
+        name="OnePlus 11",
+        gpu="Adreno 740",
+        ram_bytes=16 * 1024**3,
+        disk_bw=0.90 * GB_PER_S,
+        disk_latency_ms=0.09,
+        um_bw=34.0 * GB_PER_S,
+        tm_upload_bw=4.2 * GB_PER_S,
+        fp16_gflops=520.0,
+        kernel_launch_ms=0.05,
+        gpu_setup_ms=330.0,
+    )
+
+
+def pixel_8() -> DeviceProfile:
+    """Google Pixel 8: Mali-G715 MP7, 8 GB RAM, UFS 3.1."""
+    return DeviceProfile(
+        name="Pixel 8",
+        gpu="Mali-G715 MP7",
+        ram_bytes=8 * 1024**3,
+        disk_bw=0.70 * GB_PER_S,
+        disk_latency_ms=0.10,
+        um_bw=27.0 * GB_PER_S,
+        tm_upload_bw=3.0 * GB_PER_S,
+        fp16_gflops=380.0,
+        kernel_launch_ms=0.06,
+        gpu_setup_ms=380.0,
+    )
+
+
+def xiaomi_mi6() -> DeviceProfile:
+    """Xiaomi Mi 6: Adreno 540, 6 GB RAM, UFS 2.1 (oldest, most constrained)."""
+    return DeviceProfile(
+        name="Xiaomi Mi 6",
+        gpu="Adreno 540",
+        ram_bytes=6 * 1024**3,
+        disk_bw=0.35 * GB_PER_S,
+        disk_latency_ms=0.15,
+        um_bw=14.0 * GB_PER_S,
+        tm_upload_bw=1.6 * GB_PER_S,
+        fp16_gflops=180.0,
+        kernel_launch_ms=0.09,
+        gpu_setup_ms=450.0,
+    )
+
+
+DEVICE_PRESETS: Dict[str, "DeviceProfile"] = {}
+for _factory in (oneplus_12, oneplus_11, pixel_8, xiaomi_mi6):
+    _profile = _factory()
+    DEVICE_PRESETS[_profile.name] = _profile
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device preset by marketing name."""
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICE_PRESETS)}") from None

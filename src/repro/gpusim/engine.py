@@ -1,0 +1,118 @@
+"""Simulation session: binds queues, memory pools, and accounting together.
+
+Executors (``repro.runtime``) drive a :class:`Simulation` — submitting IO
+and kernel work, allocating/freeing memory at event boundaries — and then
+:meth:`Simulation.finish` assembles the :class:`~repro.gpusim.timeline.RunResult`.
+
+Memory events are recorded as (time, delta) pairs and integrated at finish
+time: executors allocate at *event completion times* that do not arrive in
+chronological order (a disk load finishes long before the transform kernel
+enqueued after it), so the step function can only be built once all events
+are known.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpusim.device import DeviceProfile
+from repro.gpusim.energy import measure_energy
+from repro.gpusim.kernels import KernelCostModel
+from repro.gpusim.memory import MemoryPool
+from repro.gpusim.queues import DualQueue
+from repro.gpusim.timeline import MemoryTimeline, Phases, RunResult
+
+
+class Simulation:
+    """One simulated run of a model under some runtime on a device.
+
+    The session enforces the device RAM budget across unified + texture
+    memory combined (mobile unified architectures share physical RAM), so an
+    over-eager preloader hits the paper's Figure 10 OOM condition; the
+    violation is detected when the timeline is integrated at finish time.
+    """
+
+    def __init__(self, device: DeviceProfile, *, model: str, runtime: str) -> None:
+        self.device = device
+        self.model = model
+        self.runtime = runtime
+        self.queues = DualQueue()
+        self.cost = KernelCostModel(device)
+        # Pools validate alloc/free pairing and track sizes; the timeline is
+        # integrated from the delta log at finish.
+        self.um = MemoryPool("unified")
+        self.tm = MemoryPool("texture")
+        self.phases = Phases()
+        self._deltas: List[Tuple[float, int]] = []
+        self._finished: Optional[RunResult] = None
+
+    # ------------------------------------------------------------- memory ops
+    @property
+    def total_in_use(self) -> int:
+        return self.um.in_use + self.tm.in_use
+
+    def alloc_um(self, name: str, nbytes: int, time_ms: float) -> None:
+        self.um.allocate(name, nbytes, time_ms)
+        self._deltas.append((time_ms, nbytes))
+
+    def free_um(self, name: str, time_ms: float) -> None:
+        nbytes = self.um.free(name, time_ms)
+        self._deltas.append((time_ms, -nbytes))
+
+    def alloc_tm(self, name: str, nbytes: int, time_ms: float) -> None:
+        self.tm.allocate(name, nbytes, time_ms)
+        self._deltas.append((time_ms, nbytes))
+
+    def free_tm(self, name: str, time_ms: float) -> None:
+        nbytes = self.tm.free(name, time_ms)
+        self._deltas.append((time_ms, -nbytes))
+
+    def free_all(self, time_ms: float) -> None:
+        """Release every live allocation in both pools (model teardown),
+        recording the deltas so the timeline returns to zero."""
+        for name in list(self.um.live_names()):
+            self.free_um(name, time_ms)
+        for name in list(self.tm.live_names()):
+            self.free_tm(name, time_ms)
+
+    def build_timeline(self) -> MemoryTimeline:
+        """Integrate the delta log into a chronological step function."""
+        timeline = MemoryTimeline()
+        total = 0
+        for time_ms, delta in sorted(self._deltas, key=lambda d: d[0]):
+            total += delta
+            timeline.record(time_ms, total)
+        return timeline
+
+    @property
+    def oom(self) -> Optional[str]:
+        """Diagnostic string if the RAM budget is ever exceeded, else None."""
+        peak = self.build_timeline().peak_bytes
+        if peak > self.device.ram_budget_bytes:
+            return (
+                f"{self.model}/{self.runtime}: peak {peak / 1e6:.0f} MB exceeds "
+                f"{self.device.ram_budget_bytes / 1e6:.0f} MB budget on {self.device.name}"
+            )
+        return None
+
+    # --------------------------------------------------------------- finish
+    def finish(self, *, details: Optional[Dict[str, float]] = None) -> RunResult:
+        """Close the run and assemble the result record."""
+        end = self.queues.makespan_ms
+        memory = self.build_timeline()
+        report = measure_energy(self.queues, self.device, end_ms=end)
+        result = RunResult(
+            model=self.model,
+            runtime=self.runtime,
+            device=self.device.name,
+            latency_ms=end,
+            phases=self.phases,
+            memory=memory,
+            peak_memory_bytes=memory.peak_bytes,
+            avg_memory_bytes=memory.average_bytes(0.0, end),
+            energy_j=report.energy_j,
+            avg_power_w=report.avg_power_w,
+            details=dict(details or {}),
+        )
+        self._finished = result
+        return result

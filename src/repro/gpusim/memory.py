@@ -1,0 +1,128 @@
+"""Memory pools with residency accounting for unified and texture memory.
+
+The simulator tracks every allocation's lifetime so the timeline can report
+instantaneous, peak, and time-weighted-average footprints — the quantities
+Tables 1 and 8 and Figures 6 and 10 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class OutOfMemoryError(Exception):
+    """Raised when an allocation would exceed the device's RAM budget.
+
+    Mirrors the paper's Figure 10 "device ran out of memory during
+    initialization" empty bars.
+    """
+
+    def __init__(self, requested: int, in_use: int, budget: int) -> None:
+        super().__init__(
+            f"allocation of {requested / 1e6:.1f} MB exceeds budget "
+            f"({in_use / 1e6:.1f} MB in use of {budget / 1e6:.1f} MB)"
+        )
+        self.requested = requested
+        self.in_use = in_use
+        self.budget = budget
+
+
+@dataclass
+class Allocation:
+    """A live region in a pool."""
+
+    name: str
+    nbytes: int
+    alloc_time_ms: float
+
+
+class MemoryPool:
+    """A named pool (unified memory or texture memory) with usage tracking.
+
+    Allocations are keyed by name; double allocation or double free of a name
+    is an error — the executors are expected to manage lifetimes precisely,
+    and sloppy accounting here would silently corrupt the memory results.
+    """
+
+    def __init__(self, name: str, budget_bytes: Optional[int] = None) -> None:
+        self.name = name
+        self.budget_bytes = budget_bytes
+        self._live: Dict[str, Allocation] = {}
+        self._in_use = 0
+        self._peak = 0
+        #: (time_ms, in_use_bytes) samples, appended on every alloc/free.
+        self.history: List[Tuple[float, int]] = [(0.0, 0)]
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    def contains(self, name: str) -> bool:
+        return name in self._live
+
+    def allocate(self, name: str, nbytes: int, time_ms: float) -> None:
+        """Allocate ``nbytes`` under ``name`` at simulation time ``time_ms``."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self._live:
+            raise ValueError(f"{self.name}: {name!r} already allocated")
+        if self.budget_bytes is not None and self._in_use + nbytes > self.budget_bytes:
+            raise OutOfMemoryError(nbytes, self._in_use, self.budget_bytes)
+        self._live[name] = Allocation(name, nbytes, time_ms)
+        self._in_use += nbytes
+        self._peak = max(self._peak, self._in_use)
+        self.history.append((time_ms, self._in_use))
+
+    def free(self, name: str, time_ms: float) -> int:
+        """Free the allocation ``name``; returns its size."""
+        try:
+            alloc = self._live.pop(name)
+        except KeyError:
+            raise ValueError(f"{self.name}: {name!r} not allocated") from None
+        self._in_use -= alloc.nbytes
+        self.history.append((time_ms, self._in_use))
+        return alloc.nbytes
+
+    def free_all(self, time_ms: float) -> None:
+        """Release every live allocation (model teardown)."""
+        for name in list(self._live):
+            self.free(name, time_ms)
+
+    def size_of(self, name: str) -> int:
+        return self._live[name].nbytes
+
+    def live_names(self) -> List[str]:
+        return list(self._live)
+
+    def average_over(self, start_ms: float, end_ms: float) -> float:
+        """Time-weighted average usage over [start, end] in bytes.
+
+        History samples are step changes, so the average is the integral of
+        the step function divided by the window length.
+        """
+        if end_ms <= start_ms:
+            return float(self._in_use)
+        total = 0.0
+        prev_t, prev_v = start_ms, self._usage_at(start_ms)
+        for t, v in self.history:
+            if t <= start_ms:
+                continue
+            if t >= end_ms:
+                break
+            total += prev_v * (t - prev_t)
+            prev_t, prev_v = t, v
+        total += prev_v * (end_ms - prev_t)
+        return total / (end_ms - start_ms)
+
+    def _usage_at(self, time_ms: float) -> int:
+        usage = 0
+        for t, v in self.history:
+            if t > time_ms:
+                break
+            usage = v
+        return usage

@@ -1,0 +1,86 @@
+"""Command queues and the two-resource overlap model.
+
+Mobile GPUs expose independent command queues so transfers and compute can
+proceed concurrently (paper §2.1).  The simulator models two serially-ordered
+resources — the IO path (disk -> unified memory) and the GPU path (kernels,
+including their embedded texture loads) — each as a :class:`CommandQueue`
+with a busy-until clock and an event log.  Executors submit work items with
+earliest-start constraints; the queue returns the completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class QueueEvent:
+    """One completed work item on a queue."""
+
+    label: str
+    start_ms: float
+    end_ms: float
+    kind: str = "work"
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+class CommandQueue:
+    """A serially-ordered execution resource with an event log."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._free_at = 0.0
+        self.events: List[QueueEvent] = []
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time new work could start."""
+        return self._free_at
+
+    def submit(self, label: str, duration_ms: float, *, not_before: float = 0.0, kind: str = "work") -> QueueEvent:
+        """Enqueue a work item; returns its event (with start/end times).
+
+        The item starts at ``max(queue free time, not_before)`` — queues are
+        in-order, like real command queues without out-of-order execution.
+        """
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(self._free_at, not_before)
+        end = start + duration_ms
+        self._free_at = end
+        event = QueueEvent(label=label, start_ms=start, end_ms=end, kind=kind)
+        self.events.append(event)
+        return event
+
+    def advance_to(self, time_ms: float) -> None:
+        """Force the queue idle until ``time_ms`` (barriers, model swaps)."""
+        self._free_at = max(self._free_at, time_ms)
+
+    def busy_time_ms(self, *, kind: Optional[str] = None) -> float:
+        """Total busy time, optionally restricted to one event kind."""
+        return sum(e.duration_ms for e in self.events if kind is None or e.kind == kind)
+
+    def idle_time_ms(self) -> float:
+        """Gaps between events up to the queue's current horizon."""
+        return self._free_at - self.busy_time_ms()
+
+
+@dataclass
+class DualQueue:
+    """The IO + GPU queue pair every executor runs on."""
+
+    io: CommandQueue = field(default_factory=lambda: CommandQueue("io"))
+    gpu: CommandQueue = field(default_factory=lambda: CommandQueue("gpu"))
+
+    @property
+    def makespan_ms(self) -> float:
+        """Completion time of all submitted work."""
+        return max(self.io.free_at, self.gpu.free_at)
+
+    def all_events(self) -> List[QueueEvent]:
+        """Merged, time-ordered event log across both queues."""
+        return sorted(self.io.events + self.gpu.events, key=lambda e: (e.start_ms, e.end_ms))

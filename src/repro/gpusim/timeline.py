@@ -1,0 +1,144 @@
+"""Simulation result containers: memory timeline and latency phases.
+
+Every executor produces a :class:`RunResult`; the experiment drivers read
+peak/average memory, phase latencies, and energy from it.  Multi-model runs
+(Figure 6) concatenate per-model results into a shared timeline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class MemoryTimeline:
+    """Step-function record of total memory in use over simulated time."""
+
+    def __init__(self) -> None:
+        #: (time_ms, total_bytes) step samples, time-sorted.
+        self.samples: List[Tuple[float, int]] = [(0.0, 0)]
+
+    def record(self, time_ms: float, total_bytes: int) -> None:
+        """Append a sample; out-of-order times are inserted in place."""
+        if total_bytes < 0:
+            raise ValueError("memory cannot be negative")
+        if self.samples and time_ms >= self.samples[-1][0]:
+            self.samples.append((time_ms, total_bytes))
+        else:
+            idx = bisect.bisect_right([t for t, _ in self.samples], time_ms)
+            self.samples.insert(idx, (time_ms, total_bytes))
+
+    @property
+    def peak_bytes(self) -> int:
+        return max(v for _, v in self.samples)
+
+    def usage_at(self, time_ms: float) -> int:
+        usage = 0
+        for t, v in self.samples:
+            if t > time_ms:
+                break
+            usage = v
+        return usage
+
+    def average_bytes(self, start_ms: float = 0.0, end_ms: Optional[float] = None) -> float:
+        """Time-weighted average over [start, end] (end defaults to last sample)."""
+        if end_ms is None:
+            end_ms = self.samples[-1][0]
+        if end_ms <= start_ms:
+            return float(self.usage_at(start_ms))
+        total = 0.0
+        prev_t, prev_v = start_ms, self.usage_at(start_ms)
+        for t, v in self.samples:
+            if t <= start_ms:
+                continue
+            if t >= end_ms:
+                break
+            total += prev_v * (t - prev_t)
+            prev_t, prev_v = t, v
+        total += prev_v * (end_ms - prev_t)
+        return total / (end_ms - start_ms)
+
+    def series(self, resolution_ms: float = 50.0, end_ms: Optional[float] = None) -> List[Tuple[float, int]]:
+        """Resampled (time, bytes) series for plotting (Figure 6)."""
+        if resolution_ms <= 0:
+            raise ValueError("resolution must be positive")
+        if end_ms is None:
+            end_ms = self.samples[-1][0]
+        out: List[Tuple[float, int]] = []
+        t = 0.0
+        while t <= end_ms:
+            out.append((t, self.usage_at(t)))
+            t += resolution_ms
+        return out
+
+
+@dataclass
+class Phases:
+    """Latency breakdown of one model run, in ms.
+
+    ``load``      — disk -> unified memory time on the IO queue.
+    ``transform`` — dedicated layout-transformation kernels (preloading path).
+    ``execute``   — inference kernels (including embedded loads for FlashMem).
+    ``setup``     — one-off GPU context/program setup.
+    """
+
+    setup: float = 0.0
+    load: float = 0.0
+    transform: float = 0.0
+    execute: float = 0.0
+
+    @property
+    def init(self) -> float:
+        """Initialization latency as the paper reports it (cold start)."""
+        return self.setup + self.load + self.transform
+
+    @property
+    def total(self) -> float:
+        return self.init + self.execute
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one model on one runtime."""
+
+    model: str
+    runtime: str
+    device: str
+    #: End-to-end wall-clock latency in ms (init + exec for preloaders;
+    #: integrated for FlashMem).
+    latency_ms: float
+    phases: Phases
+    memory: MemoryTimeline
+    #: Peak bytes as accounted by the executor (UM + TM).
+    peak_memory_bytes: int
+    #: Time-weighted average bytes over the whole run.
+    avg_memory_bytes: float
+    energy_j: float = 0.0
+    avg_power_w: float = 0.0
+    #: Free-form executor details (preload ratio, plan stats, ...).
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def peak_memory_mb(self) -> float:
+        return self.peak_memory_bytes / 1e6
+
+    @property
+    def avg_memory_mb(self) -> float:
+        return self.avg_memory_bytes / 1e6
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.model}/{self.runtime}@{self.device}: "
+            f"{self.latency_ms:.0f} ms, avg {self.avg_memory_mb:.0f} MB, "
+            f"peak {self.peak_memory_mb:.0f} MB, {self.energy_j:.1f} J"
+        )
+
+
+def geo_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for the paper's speedup/reduction summaries)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,16 @@
+"""DNN computational graph IR: operators, DAG, builders, lowering, model zoo."""
+
+from repro.graph.dag import Graph, GraphError, Node
+from repro.graph.ops import OpClass, OpKind, OpSpec, TensorSpec, WeightSpec, op_class
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "Node",
+    "OpClass",
+    "OpKind",
+    "OpSpec",
+    "TensorSpec",
+    "WeightSpec",
+    "op_class",
+]

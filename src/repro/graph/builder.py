@@ -1,0 +1,331 @@
+"""Block-level graph construction helpers.
+
+Models in the zoo are described in terms of familiar blocks (attention, MLP,
+residual conv, ...).  :class:`GraphBuilder` lowers each block into the
+low-level operator nodes the paper counts as "layers" (Table 6) and chains
+them in execution order.  The builder keeps a running cursor so sequential
+models read top-to-bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.graph.dag import Graph, Node
+from repro.graph.ops import (
+    OpKind,
+    OpSpec,
+    TensorSpec,
+    WeightSpec,
+    conv2d_spec,
+    elementwise_spec,
+    layout_spec,
+    matmul_spec,
+    normalization_spec,
+    softmax_spec,
+)
+
+
+class GraphBuilder:
+    """Builds a :class:`~repro.graph.dag.Graph` block by block.
+
+    The builder tracks a *cursor* (the most recently produced node) so calls
+    chain naturally; methods return the node they produce, which can be used
+    to wire residual connections.
+    """
+
+    def __init__(self, name: str, *, dtype_bytes: int = 2, fine: bool = True) -> None:
+        self.graph = Graph(name)
+        self.dtype_bytes = dtype_bytes
+        #: Fine lowering emits bias adds, attention scale and mask as their
+        #: own elemental kernels (as un-fused mobile runtimes do); coarse
+        #: lowering folds them into the producing op.
+        self.fine = fine
+        self.cursor: Optional[Node] = None
+        self._counter = 0
+
+    # --------------------------------------------------------------- plumbing
+    def _name(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}_{self._counter}"
+
+    def _add(self, spec: OpSpec, inputs: Optional[Sequence[Node]] = None) -> Node:
+        if inputs is None:
+            inputs = [self.cursor] if self.cursor is not None else []
+        node = self.graph.add(spec, inputs=list(inputs))
+        self.cursor = node
+        return node
+
+    def raw(self, spec: OpSpec, inputs: Optional[Sequence[Node]] = None) -> Node:
+        """Insert a hand-built :class:`OpSpec` (escape hatch for exotic blocks)."""
+        return self._add(spec, inputs)
+
+    def fresh_name(self, base: str) -> str:
+        """Allocate a unique node name with the builder's counter."""
+        return self._name(base)
+
+    def finish(self) -> Graph:
+        """Freeze and return the built graph."""
+        return self.graph.freeze()
+
+    # ------------------------------------------------------------- primitives
+    def embedding(self, seq: int, vocab: int, dim: int) -> Node:
+        """Token embedding lookup: (seq,) ids -> (seq, dim)."""
+        spec = OpSpec(
+            kind=OpKind.EMBEDDING,
+            name=self._name("embed"),
+            flops=seq * dim,
+            input_specs=[TensorSpec((seq,), 4)],
+            output_spec=TensorSpec((seq, dim), self.dtype_bytes),
+            weights=[WeightSpec(self._name("embed") + ".w", TensorSpec((vocab, dim), self.dtype_bytes))],
+        )
+        return self._add(spec, inputs=[])
+
+    def linear(self, m: int, k: int, n: int, *, bias: bool = True, inputs: Optional[Sequence[Node]] = None) -> Node:
+        """Dense layer: (m, k) x (k, n).
+
+        With fine lowering the bias lands in a separate Add kernel carrying
+        the bias weight; otherwise it is folded into the MatMul node.
+        """
+        if bias and self.fine:
+            self._add(
+                matmul_spec(self._name("matmul"), m, k, n, dtype_bytes=self.dtype_bytes, bias=False),
+                inputs=inputs,
+            )
+            return self.bias_add((m, n), n)
+        return self._add(
+            matmul_spec(self._name("matmul"), m, k, n, dtype_bytes=self.dtype_bytes, bias=bias),
+            inputs=inputs,
+        )
+
+    def linear_tied(self, m: int, k: int, n: int, *, inputs: Optional[Sequence[Node]] = None) -> Node:
+        """Dense layer whose weight is tied to another node (e.g. LM head
+        sharing the token embedding).  Carries no weight of its own."""
+        name = self._name("matmul_tied")
+        spec = OpSpec(
+            kind=OpKind.MATMUL,
+            name=name,
+            flops=2 * m * k * n,
+            input_specs=[TensorSpec((m, k), self.dtype_bytes)],
+            output_spec=TensorSpec((m, n), self.dtype_bytes),
+            attrs={"m": m, "k": k, "n": n, "tied": True},
+        )
+        return self._add(spec, inputs=inputs)
+
+    def bias_add(self, shape: Tuple[int, ...], channels: int) -> Node:
+        """Elementwise add of a learned per-channel bias."""
+        t = TensorSpec(shape, self.dtype_bytes)
+        name = self._name("bias_add")
+        spec = OpSpec(
+            kind=OpKind.ADD,
+            name=name,
+            flops=t.numel,
+            input_specs=[t],
+            output_spec=t,
+            weights=[WeightSpec(f"{name}.b", TensorSpec((channels,), self.dtype_bytes))],
+        )
+        return self._add(spec)
+
+    def conv(
+        self,
+        h: int,
+        w: int,
+        c_in: int,
+        c_out: int,
+        kernel: int,
+        *,
+        stride: int = 1,
+        depthwise: bool = False,
+        inputs: Optional[Sequence[Node]] = None,
+    ) -> Node:
+        return self._add(
+            conv2d_spec(
+                self._name("conv"),
+                h,
+                w,
+                c_in,
+                c_out,
+                kernel,
+                stride=stride,
+                dtype_bytes=self.dtype_bytes,
+                depthwise=depthwise,
+            ),
+            inputs=inputs,
+        )
+
+    def activation(self, shape: Tuple[int, ...], *, kind: OpKind = OpKind.ACTIVATION) -> Node:
+        return self._add(elementwise_spec(self._name("act"), kind, shape, dtype_bytes=self.dtype_bytes))
+
+    def gelu(self, shape: Tuple[int, ...]) -> Node:
+        return self._add(
+            elementwise_spec(self._name("gelu"), OpKind.GELU, shape, dtype_bytes=self.dtype_bytes, flops_per_elem=8)
+        )
+
+    def add(self, shape: Tuple[int, ...], lhs: Node, rhs: Node) -> Node:
+        return self._add(
+            elementwise_spec(self._name("add"), OpKind.ADD, shape, n_inputs=2, dtype_bytes=self.dtype_bytes),
+            inputs=[lhs, rhs],
+        )
+
+    def mul(self, shape: Tuple[int, ...], lhs: Node, rhs: Node) -> Node:
+        return self._add(
+            elementwise_spec(self._name("mul"), OpKind.MUL, shape, n_inputs=2, dtype_bytes=self.dtype_bytes),
+            inputs=[lhs, rhs],
+        )
+
+    def layernorm(self, shape: Tuple[int, ...]) -> Node:
+        return self._add(normalization_spec(self._name("ln"), OpKind.LAYERNORM, shape, dtype_bytes=self.dtype_bytes))
+
+    def groupnorm(self, shape: Tuple[int, ...], channels: int) -> Node:
+        return self._add(
+            normalization_spec(
+                self._name("gn"), OpKind.GROUPNORM, shape, channels=channels, dtype_bytes=self.dtype_bytes
+            )
+        )
+
+    def batchnorm(self, shape: Tuple[int, ...], channels: int) -> Node:
+        return self._add(
+            normalization_spec(
+                self._name("bn"), OpKind.BATCHNORM, shape, channels=channels, dtype_bytes=self.dtype_bytes
+            )
+        )
+
+    def softmax(self, shape: Tuple[int, ...]) -> Node:
+        return self._add(softmax_spec(self._name("softmax"), shape, dtype_bytes=self.dtype_bytes))
+
+    def pool(self, h: int, w: int, c: int, *, stride: int = 2) -> Node:
+        oh, ow = max(1, h // stride), max(1, w // stride)
+        spec = OpSpec(
+            kind=OpKind.POOL,
+            name=self._name("pool"),
+            flops=c * h * w,
+            input_specs=[TensorSpec((c, h, w), self.dtype_bytes)],
+            output_spec=TensorSpec((c, oh, ow), self.dtype_bytes),
+        )
+        return self._add(spec)
+
+    def upsample(self, h: int, w: int, c: int, *, factor: int = 2) -> Node:
+        spec = OpSpec(
+            kind=OpKind.UPSAMPLE,
+            name=self._name("upsample"),
+            flops=c * h * w * factor * factor,
+            input_specs=[TensorSpec((c, h, w), self.dtype_bytes)],
+            output_spec=TensorSpec((c, h * factor, w * factor), self.dtype_bytes),
+        )
+        return self._add(spec)
+
+    def reshape(self, in_shape: Tuple[int, ...], out_shape: Tuple[int, ...]) -> Node:
+        return self._add(
+            layout_spec(self._name("reshape"), OpKind.RESHAPE, in_shape, out_shape, dtype_bytes=self.dtype_bytes)
+        )
+
+    def transpose(self, in_shape: Tuple[int, ...], out_shape: Tuple[int, ...]) -> Node:
+        return self._add(
+            layout_spec(self._name("transpose"), OpKind.TRANSPOSE, in_shape, out_shape, dtype_bytes=self.dtype_bytes)
+        )
+
+    # ----------------------------------------------------------------- blocks
+    def attention_block(self, seq: int, dim: int, heads: int, *, with_layout_ops: bool = True, bias: bool = True) -> Node:
+        """Multi-head self-attention lowered to operator nodes.
+
+        Produces: LN, Q/K/V projections, (optional transpose layout ops),
+        attention score matmul, softmax, attention-value matmul, output
+        projection, residual add.
+        """
+        if dim % heads:
+            raise ValueError("dim must divide heads")
+        entry = self.cursor
+        if entry is None:
+            raise ValueError("attention_block needs a cursor (add an embedding/input first)")
+        self.layernorm((seq, dim))
+        ln = self.cursor
+        q = self.linear(seq, dim, dim, bias=bias, inputs=[ln])
+        k = self.linear(seq, dim, dim, bias=bias, inputs=[ln])
+        v = self.linear(seq, dim, dim, bias=bias, inputs=[ln])
+        if with_layout_ops:
+            q = self.transpose((seq, dim), (heads, seq, dim // heads))
+            self.cursor = k
+            k = self.transpose((seq, dim), (heads, dim // heads, seq))
+        # Scores: heads x (seq, d_h) x (d_h, seq)
+        score = OpSpec(
+            kind=OpKind.ATTENTION_SCORE,
+            name=self._name("attn_score"),
+            flops=2 * heads * seq * (dim // heads) * seq,
+            input_specs=[TensorSpec((heads, seq, dim // heads), self.dtype_bytes)] * 2,
+            output_spec=TensorSpec((heads, seq, seq), self.dtype_bytes),
+            attrs={"heads": heads},
+        )
+        s = self._add(score, inputs=[q, k])
+        if self.fine:
+            # Scale by 1/sqrt(d_h) and add the attention mask — separate
+            # elemental kernels in un-fused mobile graphs.
+            shape = (heads, seq, seq)
+            self._add(elementwise_spec(self._name("attn_scale"), OpKind.MUL, shape, dtype_bytes=self.dtype_bytes))
+            self._add(
+                elementwise_spec(
+                    self._name("attn_mask"), OpKind.ADD, shape, n_inputs=2, dtype_bytes=self.dtype_bytes
+                )
+            )
+        sm = self.softmax((heads, seq, seq))
+        ctx = OpSpec(
+            kind=OpKind.ATTENTION_SCORE,
+            name=self._name("attn_ctx"),
+            flops=2 * heads * seq * seq * (dim // heads),
+            input_specs=[
+                TensorSpec((heads, seq, seq), self.dtype_bytes),
+                TensorSpec((heads, seq, dim // heads), self.dtype_bytes),
+            ],
+            output_spec=TensorSpec((seq, dim), self.dtype_bytes),
+            attrs={"heads": heads},
+        )
+        c = self._add(ctx, inputs=[sm, v])
+        if with_layout_ops:
+            c = self.reshape((seq, dim), (seq, dim))
+        proj = self.linear(seq, dim, dim, bias=bias, inputs=[c])
+        return self.add((seq, dim), entry, proj)
+
+    def mlp_block(self, seq: int, dim: int, hidden: int, *, bias: bool = True) -> Node:
+        """Transformer MLP: LN -> fc1 -> GeLU -> fc2 -> residual add."""
+        entry = self.cursor
+        if entry is None:
+            raise ValueError("mlp_block needs a cursor")
+        self.layernorm((seq, dim))
+        self.linear(seq, dim, hidden, bias=bias)
+        self.gelu((seq, hidden))
+        fc2 = self.linear(seq, hidden, dim, bias=bias)
+        return self.add((seq, dim), entry, fc2)
+
+    def transformer_block(self, seq: int, dim: int, heads: int, mlp_mult: int = 4, *, with_layout_ops: bool = True) -> Node:
+        self.attention_block(seq, dim, heads, with_layout_ops=with_layout_ops)
+        return self.mlp_block(seq, dim, dim * mlp_mult)
+
+    def resnet_bottleneck(self, h: int, w: int, c_in: int, c_mid: int, c_out: int, *, stride: int = 1) -> Node:
+        """ResNet bottleneck: 1x1 -> 3x3 -> 1x1 with BN+ReLU, residual add."""
+        entry = self.cursor
+        if entry is None:
+            raise ValueError("resnet_bottleneck needs a cursor")
+        self.conv(h, w, c_in, c_mid, 1)
+        self.batchnorm((c_mid, h, w), c_mid)
+        self.activation((c_mid, h, w))
+        oh, ow = max(1, -(-h // stride)), max(1, -(-w // stride))
+        self.conv(h, w, c_mid, c_mid, 3, stride=stride)
+        self.batchnorm((c_mid, oh, ow), c_mid)
+        self.activation((c_mid, oh, ow))
+        self.conv(oh, ow, c_mid, c_out, 1)
+        main = self.batchnorm((c_out, oh, ow), c_out)
+        if stride != 1 or c_in != c_out:
+            short = self.conv(h, w, c_in, c_out, 1, stride=stride, inputs=[entry])
+        else:
+            short = entry
+        added = self.add((c_out, oh, ow), main, short)
+        return self.activation((c_out, oh, ow))
+
+    def conv_block(self, h: int, w: int, c_in: int, c_out: int, kernel: int = 3, *, stride: int = 1, norm: str = "group") -> Node:
+        """Conv + norm + activation (SiLU-style), as in diffusion UNets."""
+        self.conv(h, w, c_in, c_out, kernel, stride=stride)
+        oh, ow = max(1, -(-h // stride)), max(1, -(-w // stride))
+        if norm == "group":
+            self.groupnorm((c_out, oh, ow), c_out)
+        elif norm == "batch":
+            self.batchnorm((c_out, oh, ow), c_out)
+        return self.activation((c_out, oh, ow))

@@ -1,0 +1,237 @@
+"""DNN computational graph: a DAG of low-level operator nodes.
+
+The graph is the unit FlashMem plans over.  Section 3.1 of the paper assumes
+a linear execution order ``1..N`` over the lowered operators; :class:`Graph`
+maintains that order (a topological order fixed at freeze time) and exposes
+the quantities the OPG formulation needs:
+
+- the weight set, with each weight's size and first-consuming layer ``i_w``;
+- per-layer activation footprints (for memory accounting);
+- per-layer FLOPs/bytes (for the capacity model and the simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.ops import OpClass, OpKind, OpSpec, WeightSpec
+
+
+class GraphError(Exception):
+    """Raised on structural errors (cycles, duplicate names, dangling edges)."""
+
+
+@dataclass
+class Node:
+    """An operator node bound into a graph.
+
+    ``index`` is the node's position in the frozen execution order (0-based;
+    the paper's layer indices are 1-based, conversion happens at the OPG
+    boundary).
+    """
+
+    spec: OpSpec
+    index: int = -1
+    inputs: List["Node"] = field(default_factory=list)
+    outputs: List["Node"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kind(self) -> OpKind:
+        return self.spec.kind
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.spec.op_class
+
+    @property
+    def weights(self) -> Tuple[WeightSpec, ...]:
+        return tuple(self.spec.weights)
+
+    @property
+    def flops(self) -> int:
+        return self.spec.flops
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.spec.weight_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.name}, {self.kind}, #{self.index})"
+
+
+class Graph:
+    """A frozen-orderable DAG of operator nodes.
+
+    Typical lifecycle::
+
+        g = Graph("my-model")
+        a = g.add(op_spec_a)
+        b = g.add(op_spec_b, inputs=[a])
+        g.freeze()                # assigns execution order
+        for node in g.nodes():    # in execution order
+            ...
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._order: Optional[List[Node]] = None
+
+    # ------------------------------------------------------------------ build
+    def add(self, spec: OpSpec, inputs: Sequence[Node] = ()) -> Node:
+        """Insert a node consuming the outputs of ``inputs``."""
+        if self._order is not None:
+            raise GraphError("graph is frozen; cannot add nodes")
+        if spec.name in self._nodes:
+            raise GraphError(f"duplicate node name {spec.name!r}")
+        node = Node(spec=spec)
+        for parent in inputs:
+            if parent.name not in self._nodes:
+                raise GraphError(f"input node {parent.name!r} not in graph")
+            node.inputs.append(parent)
+            parent.outputs.append(node)
+        self._nodes[spec.name] = node
+        return node
+
+    def freeze(self) -> "Graph":
+        """Fix a topological execution order.  Idempotent."""
+        if self._order is not None:
+            return self
+        order: List[Node] = []
+        indegree = {n.name: len(n.inputs) for n in self._nodes.values()}
+        # Deterministic: ready nodes processed in insertion order.
+        ready = [n for n in self._nodes.values() if indegree[n.name] == 0]
+        seen = 0
+        while ready:
+            node = ready.pop(0)
+            node.index = seen
+            order.append(node)
+            seen += 1
+            for child in node.outputs:
+                indegree[child.name] -= 1
+                if indegree[child.name] == 0:
+                    ready.append(child)
+        if seen != len(self._nodes):
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        self._order = order
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._order is not None
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GraphError(f"no node named {name!r}") from None
+
+    def nodes(self) -> List[Node]:
+        """Nodes in execution order (requires :meth:`freeze`)."""
+        if self._order is None:
+            raise GraphError("graph not frozen; call freeze() first")
+        return list(self._order)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes())
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def num_layers(self) -> int:
+        """Lowered operator count (paper Table 6 '# Layers')."""
+        return len(self._nodes)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(n.flops for n in self._nodes.values())
+
+    @property
+    def total_macs(self) -> int:
+        return self.total_flops // 2
+
+    @property
+    def total_weight_bytes(self) -> int:
+        return sum(n.weight_bytes for n in self._nodes.values())
+
+    @property
+    def total_params(self) -> int:
+        return sum(w.numel for n in self._nodes.values() for w in n.weights)
+
+    def weights(self) -> List[Tuple[WeightSpec, Node]]:
+        """All (weight, owning node) pairs in execution order."""
+        out: List[Tuple[WeightSpec, Node]] = []
+        for node in self.nodes():
+            for w in node.weights:
+                out.append((w, node))
+        return out
+
+    def weight_first_use(self) -> Dict[str, int]:
+        """Map weight name -> index of the earliest consuming layer (i_w).
+
+        In this IR each weight belongs to exactly one node, so first use is
+        the owner's index; kept as a map so shared-weight extensions slot in.
+        """
+        return {w.name: node.index for w, node in self.weights()}
+
+    def activation_bytes_at(self, index: int) -> int:
+        """Live activation footprint while layer ``index`` executes.
+
+        Counts the layer's inputs and output plus any earlier outputs still
+        needed by later layers (residual connections).  This is the
+        activation term of the simulator's memory accounting.
+        """
+        nodes = self.nodes()
+        if not 0 <= index < len(nodes):
+            raise GraphError(f"layer index {index} out of range")
+        node = nodes[index]
+        live = node.spec.output_bytes + node.spec.input_bytes
+        for earlier in nodes[:index]:
+            if any(child.index > index for child in earlier.outputs) and node not in earlier.outputs:
+                live += earlier.spec.output_bytes
+        return live
+
+    def peak_activation_bytes(self) -> int:
+        """Upper bound on live activations across all layers.
+
+        Exact liveness is O(N^2); for large graphs we sample, which is fine
+        for the memory model (activations are a small fraction of weights
+        for the evaluated models).
+        """
+        n = self.num_layers
+        if n == 0:
+            return 0
+        if n <= 64:
+            indices: Iterable[int] = range(n)
+        else:
+            step = max(1, n // 64)
+            indices = range(0, n, step)
+        return max(self.activation_bytes_at(i) for i in indices)
+
+    def op_histogram(self) -> Dict[OpKind, int]:
+        """Count of nodes per operator kind."""
+        hist: Dict[OpKind, int] = {}
+        for node in self._nodes.values():
+            hist[node.kind] = hist.get(node.kind, 0) + 1
+        return hist
+
+    def summary(self) -> str:
+        """One-line characterization matching Table 6 columns."""
+        return (
+            f"{self.name}: params={self.total_params / 1e6:.1f}M "
+            f"macs={self.total_macs / 1e9:.1f}G layers={self.num_layers}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph({self.name!r}, {len(self._nodes)} nodes)"

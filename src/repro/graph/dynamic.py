@@ -1,0 +1,168 @@
+"""Dynamic neural networks: runtime-dependent execution paths.
+
+The paper flags dynamic networks as the LC-OPG corner case left to future
+work (§3.2): "runtime-dependent execution paths can increase solver time
+due to the need to explore multiple possible execution branches".  This
+module implements the straightforward extension the paper sketches:
+
+- a :class:`DynamicModel` is a set of execution-path *variants* (each a
+  plain lowered graph) with occurrence probabilities — e.g. an early-exit
+  classifier or a decoder whose generated length varies;
+- :func:`plan_dynamic` solves one overlap plan per variant and unifies the
+  preloaded set W across them (a weight any path preloads is preloaded for
+  all, so the resident set never depends on the branch taken at runtime);
+- :class:`DynamicRunResult` aggregates expected and worst-case latency and
+  memory over the path distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.capacity.model import LoadCapacityModel
+from repro.graph.dag import Graph
+from repro.opg.lcopg import LcOpgSolver
+from repro.opg.plan import OverlapPlan
+
+
+@dataclass(frozen=True)
+class PathVariant:
+    """One runtime-resolvable execution path of a dynamic model."""
+
+    name: str
+    graph: Graph
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"{self.name}: probability must be in (0, 1]")
+
+
+@dataclass
+class DynamicModel:
+    """A model whose execution path is chosen at runtime."""
+
+    name: str
+    variants: List[PathVariant]
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError("dynamic model needs at least one variant")
+        total = sum(v.probability for v in self.variants)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"path probabilities sum to {total}, expected 1.0")
+        names = [v.name for v in self.variants]
+        if len(names) != len(set(names)):
+            raise ValueError("variant names must be unique")
+
+    def variant(self, name: str) -> PathVariant:
+        for v in self.variants:
+            if v.name == name:
+                return v
+        raise KeyError(f"no variant {name!r}")
+
+
+@dataclass
+class DynamicPlan:
+    """Per-variant overlap plans with a unified preload set."""
+
+    model: str
+    plans: Dict[str, OverlapPlan]
+    #: Weights preloaded on every path (union across variants).
+    unified_preload: frozenset = frozenset()
+
+    def plan_for(self, variant: str) -> OverlapPlan:
+        return self.plans[variant]
+
+
+def early_exit_variants(
+    builder, exits: Sequence[int], probabilities: Sequence[float], *, name: str = "early-exit"
+) -> DynamicModel:
+    """Build a :class:`DynamicModel` from an early-exit family.
+
+    ``builder(depth)`` must return the lowered graph that executes the
+    first ``depth`` blocks and exits; ``exits``/``probabilities`` pair
+    depths with how often the input takes each exit.
+    """
+    if len(exits) != len(probabilities):
+        raise ValueError("exits and probabilities must align")
+    variants = [
+        PathVariant(name=f"exit@{depth}", graph=builder(depth), probability=p)
+        for depth, p in zip(exits, probabilities)
+    ]
+    return DynamicModel(name=name, variants=variants)
+
+
+def plan_dynamic(
+    model: DynamicModel,
+    solver: LcOpgSolver,
+    capacity_model: LoadCapacityModel,
+    *,
+    device_name: str = "",
+) -> DynamicPlan:
+    """Solve every execution path, then unify the preload sets.
+
+    Pass 1 solves each variant independently; the union of their preloaded
+    weights becomes a pinned hint set; pass 2 re-solves each variant with
+    that set so all paths agree on the resident W (a branch taken at
+    runtime then never requires loading a weight another branch assumed
+    resident, and vice versa).
+    """
+    first_pass = {
+        v.name: solver.solve(v.graph, capacity_model, device_name=device_name)
+        for v in model.variants
+    }
+    union: set = set()
+    for plan in first_pass.values():
+        union.update(plan.preloaded_weights)
+    # Only pin weights that actually exist in a given variant's graph.
+    plans: Dict[str, OverlapPlan] = {}
+    for v in model.variants:
+        present = {w.name for w, _ in v.graph.weights()}
+        pinned = frozenset(union & present)
+        cfg = solver.config
+        if pinned == set(first_pass[v.name].preloaded_weights):
+            plans[v.name] = first_pass[v.name]
+            continue
+        from dataclasses import replace
+
+        pinned_cfg = replace(cfg, preload_hint_weights=frozenset(cfg.preload_hint_weights) | pinned)
+        plans[v.name] = LcOpgSolver(pinned_cfg, use_cp=solver.use_cp).solve(
+            v.graph, capacity_model, device_name=device_name
+        )
+    return DynamicPlan(model=model.name, plans=plans, unified_preload=frozenset(union))
+
+
+@dataclass
+class DynamicRunResult:
+    """Distributional outcome of executing a dynamic model."""
+
+    model: str
+    #: variant -> (probability, RunResult)
+    outcomes: Dict[str, Tuple[float, object]] = field(default_factory=dict)
+
+    @property
+    def expected_latency_ms(self) -> float:
+        return sum(p * r.latency_ms for p, r in self.outcomes.values())
+
+    @property
+    def worst_latency_ms(self) -> float:
+        return max(r.latency_ms for _, r in self.outcomes.values())
+
+    @property
+    def expected_avg_memory_bytes(self) -> float:
+        return sum(p * r.avg_memory_bytes for p, r in self.outcomes.values())
+
+    @property
+    def worst_peak_memory_bytes(self) -> int:
+        return max(r.peak_memory_bytes for _, r in self.outcomes.values())
+
+
+def run_dynamic(model: DynamicModel, dynamic_plan: DynamicPlan, executor) -> DynamicRunResult:
+    """Execute every path once and aggregate by probability."""
+    result = DynamicRunResult(model=model.name)
+    for v in model.variants:
+        run = executor.run(v.graph, dynamic_plan.plan_for(v.name))
+        result.outcomes[v.name] = (v.probability, run)
+    return result

@@ -1,0 +1,65 @@
+"""Graph-level lowering passes.
+
+SmartMem — the framework FlashMem builds on — systematically eliminates
+layout-transformation operators (Reshape, Transpose, ...) by keeping tensors
+in a 2.5D texture layout end to end.  :func:`eliminate_layout_ops` is that
+substrate pass: it splices pure layout nodes out of the DAG.  FlashMem's
+compiler runs it before overlap planning so the plan only schedules real
+work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.dag import Graph, Node
+from repro.graph.ops import OpClass
+
+
+def eliminate_layout_ops(graph: Graph) -> Graph:
+    """Return a new graph with all LAYOUT-class nodes removed.
+
+    Each layout node is spliced out by reconnecting its producers directly to
+    its consumers.  Non-layout structure (including fan-in/fan-out) is
+    preserved; execution order of the surviving nodes keeps the original
+    relative order.
+    """
+    graph.freeze()
+    out = Graph(graph.name)
+    # Map original node -> surviving replacement node(s) feeding consumers.
+    replacement: Dict[str, List[Node]] = {}
+    rebuilt: Dict[str, Node] = {}
+
+    def resolve(orig: Node) -> List[Node]:
+        """Surviving graph inputs that stand in for ``orig``'s output."""
+        if orig.op_class is not OpClass.LAYOUT:
+            return [rebuilt[orig.name]]
+        resolved: List[Node] = []
+        for parent in orig.inputs:
+            resolved.extend(replacement[parent.name])
+        return resolved
+
+    for node in graph.nodes():
+        if node.op_class is OpClass.LAYOUT:
+            inputs: List[Node] = []
+            for parent in node.inputs:
+                inputs.extend(replacement[parent.name])
+            replacement[node.name] = inputs
+            continue
+        new_inputs: List[Node] = []
+        seen = set()
+        for parent in node.inputs:
+            for repl in replacement[parent.name]:
+                if repl.name not in seen:
+                    seen.add(repl.name)
+                    new_inputs.append(repl)
+        new_node = out.add(node.spec, inputs=new_inputs)
+        rebuilt[node.name] = new_node
+        replacement[node.name] = [new_node]
+    return out.freeze()
+
+
+def layout_op_count(graph: Graph) -> int:
+    """Number of pure layout operators in the graph."""
+    graph.freeze()
+    return sum(1 for n in graph.nodes() if n.op_class is OpClass.LAYOUT)

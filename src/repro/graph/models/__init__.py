@@ -1,0 +1,23 @@
+"""Model zoo: builders for every model the paper evaluates."""
+
+from repro.graph.models.zoo import (
+    ALL_CARDS,
+    EVALUATED_MODELS,
+    MODEL_CARDS,
+    PAPER_CHARACTERIZATION,
+    SOLVER_MODEL_CARDS,
+    ModelCard,
+    available_models,
+    load_model,
+)
+
+__all__ = [
+    "ALL_CARDS",
+    "EVALUATED_MODELS",
+    "MODEL_CARDS",
+    "PAPER_CHARACTERIZATION",
+    "SOLVER_MODEL_CARDS",
+    "ModelCard",
+    "available_models",
+    "load_model",
+]

@@ -1,0 +1,193 @@
+"""Convolution-family model builders: ResNet50, SD-UNet, DepthAnything.
+
+The paper notes (§5.2, §5.4) that convolution-based models see smaller
+memory/latency reductions because convolution weight transformations (e.g.
+Winograd) cannot be overlapped; the simulator's cost model keys off the
+Conv2D operator kind to reproduce that, so these graphs matter beyond their
+Table 6 rows.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import Graph
+
+
+def resnet50(image: int = 224, *, dtype_bytes: int = 2) -> Graph:
+    """Standard ResNet50 (paper: 25.6 M params, 4.1 GMACs, 141 layers)."""
+    b = GraphBuilder("ResNet50", dtype_bytes=dtype_bytes)
+    h = image
+    b.embedding(4, 4, 4)  # input placeholder source node
+    b.conv(h, h, 3, 64, 7, stride=2)
+    h //= 2
+    b.batchnorm((64, h, h), 64)
+    b.activation((64, h, h))
+    b.pool(h, h, 64, stride=2)
+    h //= 2
+    stage_cfg = [
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ]
+    c_in = 64
+    for blocks, c_mid, c_out, first_stride in stage_cfg:
+        for i in range(blocks):
+            stride = first_stride if i == 0 else 1
+            b.resnet_bottleneck(h, h, c_in, c_mid, c_out, stride=stride)
+            h = max(1, -(-h // stride))
+            c_in = c_out
+    b.pool(h, h, c_in, stride=h)
+    b.linear(1, c_in, 1000)
+    return b.finish()
+
+
+def _unet_res_block(b: GraphBuilder, h: int, c_in: int, c_out: int, emb_dim: int) -> None:
+    """Diffusion UNet residual block: GN-act-conv x2 + time-emb proj + skip."""
+    entry = b.cursor
+    b.groupnorm((c_in, h, h), c_in)
+    b.activation((c_in, h, h))
+    b.conv(h, h, c_in, c_out, 3)
+    b.linear(1, emb_dim, c_out)  # time-embedding projection
+    proj = b.cursor
+    b.groupnorm((c_out, h, h), c_out)
+    b.activation((c_out, h, h))
+    main = b.conv(h, h, c_out, c_out, 3)
+    if c_in != c_out:
+        skip = b.conv(h, h, c_in, c_out, 1, inputs=[entry])
+    else:
+        skip = entry
+    b.add((c_out, h, h), main, skip)
+
+
+def _unet_attn_block(b: GraphBuilder, h: int, c: int, context, heads: int = 8, ctx_dim: int = 768, ctx_seq: int = 77) -> None:
+    """SD spatial transformer: self-attention + text cross-attention + GEGLU FF."""
+    seq = h * h
+    b.groupnorm((c, h, h), c)
+    b.reshape((c, h, h), (seq, c))
+    b.attention_block(seq, c, heads)
+    # Cross-attention against the text-encoder context.
+    entry = b.cursor
+    b.layernorm((seq, c))
+    ln = b.cursor
+    q = b.linear(seq, c, c, bias=False, inputs=[ln])
+    k = b.linear(ctx_seq, ctx_dim, c, bias=False, inputs=[context])
+    v = b.linear(ctx_seq, ctx_dim, c, bias=False, inputs=[context])
+    from repro.graph.ops import OpKind, OpSpec, TensorSpec
+
+    d_h = c // heads
+    score = OpSpec(
+        kind=OpKind.ATTENTION_SCORE,
+        name=b.fresh_name("xattn_score"),
+        flops=2 * heads * seq * d_h * ctx_seq,
+        input_specs=[TensorSpec((heads, seq, d_h)), TensorSpec((heads, d_h, ctx_seq))],
+        output_spec=TensorSpec((heads, seq, ctx_seq)),
+    )
+    b.raw(score, inputs=[q, k])
+    b.softmax((heads, seq, ctx_seq))
+    sm = b.cursor
+    ctx = OpSpec(
+        kind=OpKind.ATTENTION_SCORE,
+        name=b.fresh_name("xattn_ctx"),
+        flops=2 * heads * seq * ctx_seq * d_h,
+        input_specs=[TensorSpec((heads, seq, ctx_seq)), TensorSpec((heads, ctx_seq, d_h))],
+        output_spec=TensorSpec((seq, c)),
+    )
+    cnode = b.raw(ctx, inputs=[sm, v])
+    proj = b.linear(seq, c, c, inputs=[cnode])
+    b.add((seq, c), entry, proj)
+    # GEGLU feed-forward: project to 8c (value+gate halves), gate, project back.
+    ff_entry = b.cursor
+    b.layernorm((seq, c))
+    b.linear(seq, c, 8 * c)
+    b.gelu((seq, 4 * c))
+    gate = b.cursor
+    b.mul((seq, 4 * c), gate, gate)
+    ff = b.linear(seq, 4 * c, c)
+    b.add((seq, c), ff_entry, ff)
+    b.reshape((seq, c), (c, h, h))
+
+
+def sd_unet(latent: int = 32, *, dtype_bytes: int = 2) -> Graph:
+    """Stable Diffusion UNet-class model (paper SD-UNet: 860 M params, 78 GMACs).
+
+    Channel ladder 320/640/1280/1280 with residual + attention blocks in the
+    down path, a mid block, and a residual up path, matching SD 1.x topology
+    at reduced spatial resolution (latent 32x32 lands on the paper's MACs).
+    """
+    b = GraphBuilder("SD-UNet", dtype_bytes=dtype_bytes)
+    emb = 1280
+    b.embedding(77, 4, 768)  # text-encoder context placeholder (external input)
+    context = b.cursor
+    b.conv(latent, latent, 4, 320, 3, inputs=[])
+    ladder = [(320, True), (640, True), (1280, True), (1280, False)]
+    h = latent
+    c_in = 320
+    for c_out, with_attn in ladder:
+        for _ in range(2):
+            _unet_res_block(b, h, c_in, c_out, emb)
+            c_in = c_out
+            if with_attn:
+                _unet_attn_block(b, h, c_out, context)
+        if c_out != 1280 or with_attn:
+            b.conv(h, h, c_out, c_out, 3, stride=2)
+            h = max(1, h // 2)
+    # Mid block
+    _unet_res_block(b, h, c_in, c_in, emb)
+    _unet_attn_block(b, h, c_in, context)
+    _unet_res_block(b, h, c_in, c_in, emb)
+    # Up path
+    for c_out, with_attn in reversed(ladder):
+        for _ in range(3):
+            _unet_res_block(b, h, c_in + c_out, c_out, emb)
+            c_in = c_out
+            if with_attn:
+                _unet_attn_block(b, h, c_out, context)
+        if c_out != 320:
+            b.upsample(h, h, c_out)
+            h *= 2
+    b.groupnorm((320, h, h), 320)
+    b.activation((320, h, h))
+    b.conv(h, h, 320, 4, 3)
+    return b.finish()
+
+
+def _dpt_head(b: GraphBuilder, tokens: int, dim: int, feat: int) -> None:
+    """DPT-style dense prediction head: reassemble + fusion convs."""
+    side = int(tokens ** 0.5) or 1
+    for scale in (1, 2, 4, 8):
+        h = max(1, side * 2 // scale)
+        b.reshape((tokens, dim), (dim, side, side))
+        b.conv(h, h, dim, feat, 3)
+        b.activation((feat, h, h))
+        b.conv(h, h, feat, feat, 3)
+        b.activation((feat, h, h))
+    b.conv(side, side, feat, feat // 2, 3)
+    b.upsample(side, side, feat // 2)
+    b.conv(side * 2, side * 2, feat // 2, 32, 3)
+    b.activation((32, side * 2, side * 2))
+    b.conv(side * 2, side * 2, 32, 1, 1)
+
+
+def depth_anything_small(tokens: int = 450, *, dtype_bytes: int = 2) -> Graph:
+    """DepthAnything-Small (paper DepA-S: 24.3 M params, 14 GMACs)."""
+    b = GraphBuilder("DepA-S", dtype_bytes=dtype_bytes)
+    b.embedding(tokens, tokens + 1, 384)
+    b.linear(tokens, 3 * 14 * 14, 384)
+    for _ in range(12):
+        b.transformer_block(tokens, 384, 6)
+    b.layernorm((tokens, 384))
+    _dpt_head(b, tokens, 384, 128)
+    return b.finish()
+
+
+def depth_anything_large(tokens: int = 520, *, dtype_bytes: int = 2) -> Graph:
+    """DepthAnything-Large (paper DepA-L: 333 M params, 180 GMACs)."""
+    b = GraphBuilder("DepA-L", dtype_bytes=dtype_bytes)
+    b.embedding(tokens, tokens + 1, 1024)
+    b.linear(tokens, 3 * 14 * 14, 1024)
+    for _ in range(24):
+        b.transformer_block(tokens, 1024, 16)
+    b.layernorm((tokens, 1024))
+    _dpt_head(b, tokens, 1024, 256)
+    return b.finish()

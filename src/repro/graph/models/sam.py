@@ -1,0 +1,45 @@
+"""SAM-2 style promptable segmentation model.
+
+SAM-2's bulk is a hierarchical (Hiera) image encoder; the mask decoder and
+memory attention are comparatively small.  We model the encoder as a windowed
+ViT over a large token grid plus a lightweight convolutional mask decoder,
+parameterized to land near the paper's Table 6 row (215 M params, 218 GMACs,
+1668 lowered layers).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import Graph
+
+
+def sam2(tokens: int = 900, *, dtype_bytes: int = 2) -> Graph:
+    """SAM-2 (paper: 215 M params, 218 GMACs)."""
+    b = GraphBuilder("SAM-2", dtype_bytes=dtype_bytes)
+    dim = 896
+    heads = 14
+    b.embedding(tokens, tokens + 1, dim)
+    b.linear(tokens, 3 * 16 * 16, dim)  # patch embedding
+    for _ in range(21):
+        b.transformer_block(tokens, dim, heads)
+    b.layernorm((tokens, dim))
+    # FPN-style neck: project encoder tokens to multi-scale feature maps.
+    side = int(tokens ** 0.5)
+    for _ in range(2):
+        b.reshape((tokens, dim), (dim, side, side))
+        b.conv(side, side, dim, 256, 1)
+        b.conv(side, side, 256, 256, 3)
+        b.activation((256, side, side))
+    # Two-way mask decoder: small cross-attention transformer + upscaler.
+    prompt_tokens = 8
+    for _ in range(2):
+        b.attention_block(prompt_tokens + 4, 256, 8)
+        b.mlp_block(prompt_tokens + 4, 256, 1024)
+    b.upsample(side, side, 256)
+    b.conv(side * 2, side * 2, 256, 64, 3)
+    b.activation((64, side * 2, side * 2))
+    b.upsample(side * 2, side * 2, 64)
+    b.conv(side * 4, side * 4, 64, 32, 3)
+    b.activation((32, side * 4, side * 4))
+    b.conv(side * 4, side * 4, 32, 3, 1)
+    return b.finish()

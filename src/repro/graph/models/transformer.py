@@ -1,0 +1,209 @@
+"""Transformer-family model builders.
+
+Each builder produces a lowered operator graph whose parameter count and MAC
+count land close to the paper's Table 6 characterization.  Weight *values*
+never matter to the evaluation (latency/memory/energy depend only on shapes),
+so no pretrained checkpoints are involved — see DESIGN.md substitutions.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import Graph
+
+
+def build_gpt_neo(
+    name: str,
+    *,
+    dim: int,
+    blocks: int,
+    heads: int,
+    vocab: int = 50257,
+    seq: int = 128,
+    dtype_bytes: int = 2,
+) -> Graph:
+    """GPT-Neo style decoder-only transformer.
+
+    Lowering per block: LayerNorm, Q/K/V matmuls, layout transposes,
+    attention score, softmax, context matmul, reshape, output projection,
+    residual add, then the MLP sub-block (LN, fc1, GeLU, fc2, add).
+    """
+    b = GraphBuilder(name, dtype_bytes=dtype_bytes)
+    b.embedding(seq, vocab, dim)
+    tok = b.cursor
+    b.embedding(seq, 2048, dim)  # learned position embeddings
+    pos = b.cursor
+    b.add((seq, dim), tok, pos)
+    for _ in range(blocks):
+        b.transformer_block(seq, dim, heads)
+    b.layernorm((seq, dim))
+    b.linear(seq, dim, vocab, bias=False)  # untied LM head
+    return b.finish()
+
+
+def gpt_neo_small(seq: int = 128, *, dtype_bytes: int = 2) -> Graph:
+    """GPT-Neo 125M-class model (paper GPTN-S: 164 M params, 16 GMACs)."""
+    return build_gpt_neo("GPTN-S", dim=768, blocks=12, heads=12, seq=seq, dtype_bytes=dtype_bytes)
+
+
+def gpt_neo_1p3b(seq: int = 128, *, dtype_bytes: int = 2) -> Graph:
+    """GPT-Neo 1.3B (paper GPTN-1.3B: 1419 M params, 170 GMACs)."""
+    return build_gpt_neo("GPTN-1.3B", dim=2048, blocks=24, heads=16, seq=seq, dtype_bytes=dtype_bytes)
+
+
+def gpt_neo_2p7b(seq: int = 128, *, dtype_bytes: int = 2) -> Graph:
+    """GPT-Neo 2.7B (paper GPTN-2.7B: 2781 M params, 342 GMACs)."""
+    return build_gpt_neo("GPTN-2.7B", dim=2560, blocks=32, heads=20, seq=seq, dtype_bytes=dtype_bytes)
+
+
+def build_vit(
+    name: str,
+    *,
+    dim: int,
+    blocks: int,
+    heads: int,
+    seq: int = 197,
+    patch: int = 16,
+    classes: int = 1000,
+    dtype_bytes: int = 2,
+) -> Graph:
+    """ViT-style encoder: patch embedding, transformer blocks, class head."""
+    b = GraphBuilder(name, dtype_bytes=dtype_bytes)
+    # Patch embedding as a matmul over flattened patches.
+    b.embedding(seq, seq + 1, dim)  # position table (stand-in source node)
+    b.linear(seq, 3 * patch * patch, dim)
+    for _ in range(blocks):
+        b.transformer_block(seq, dim, heads)
+    b.layernorm((seq, dim))
+    b.linear(1, dim, classes)
+    return b.finish()
+
+
+def vit(seq: int = 197, *, dtype_bytes: int = 2) -> Graph:
+    """ViT (paper: 103 M params, 21 GMACs)."""
+    return build_vit("ViT", dim=768, blocks=14, heads=12, seq=seq, dtype_bytes=dtype_bytes)
+
+
+def deepvit(seq: int = 197, *, dtype_bytes: int = 2) -> Graph:
+    """DeepViT (paper: 204 M params, 42 GMACs) — deeper ViT stack."""
+    return build_vit("DeepViT", dim=768, blocks=28, heads=12, seq=seq, dtype_bytes=dtype_bytes)
+
+
+def vit_8b(seq: int = 197, *, dtype_bytes: int = 2) -> Graph:
+    """ViT-8B solver-scaling variant (paper Table 4 only)."""
+    return build_vit("ViT-8B", dim=4096, blocks=40, heads=32, seq=seq, dtype_bytes=dtype_bytes)
+
+
+def build_whisper(
+    name: str,
+    *,
+    dim: int,
+    enc_blocks: int,
+    dec_blocks: int,
+    heads: int,
+    enc_seq: int,
+    dec_seq: int,
+    vocab: int = 51865,
+    dtype_bytes: int = 2,
+) -> Graph:
+    """Whisper-style encoder-decoder with cross-attention in the decoder."""
+    b = GraphBuilder(name, dtype_bytes=dtype_bytes)
+    # Audio frontend: two convs over mel spectrogram.
+    b.embedding(enc_seq, enc_seq, dim)  # positional table source
+    b.linear(enc_seq, 80 * 3, dim)  # conv1 as matmul over mel patches
+    b.gelu((enc_seq, dim))
+    b.linear(enc_seq, dim * 3, dim)  # conv2
+    b.gelu((enc_seq, dim))
+    for _ in range(enc_blocks):
+        b.transformer_block(enc_seq, dim, heads)
+    b.layernorm((enc_seq, dim))
+    encoder_out = b.cursor
+    # Decoder
+    b.embedding(dec_seq, vocab, dim)
+    for _ in range(dec_blocks):
+        b.attention_block(dec_seq, dim, heads)  # self-attention
+        # Cross-attention: Q from decoder, K/V from encoder output.
+        entry = b.cursor
+        b.layernorm((dec_seq, dim))
+        ln = b.cursor
+        q = b.linear(dec_seq, dim, dim, inputs=[ln])
+        k = b.linear(enc_seq, dim, dim, inputs=[encoder_out])
+        v = b.linear(enc_seq, dim, dim, inputs=[encoder_out])
+        from repro.graph.ops import OpKind, OpSpec, TensorSpec
+
+        score = OpSpec(
+            kind=OpKind.ATTENTION_SCORE,
+            name=b.fresh_name("xattn_score"),
+            flops=2 * heads * dec_seq * (dim // heads) * enc_seq,
+            input_specs=[
+                TensorSpec((heads, dec_seq, dim // heads), dtype_bytes),
+                TensorSpec((heads, dim // heads, enc_seq), dtype_bytes),
+            ],
+            output_spec=TensorSpec((heads, dec_seq, enc_seq), dtype_bytes),
+        )
+        s = b.raw(score, inputs=[q, k])
+        b.softmax((heads, dec_seq, enc_seq))
+        sm = b.cursor
+        ctx = OpSpec(
+            kind=OpKind.ATTENTION_SCORE,
+            name=b.fresh_name("xattn_ctx"),
+            flops=2 * heads * dec_seq * enc_seq * (dim // heads),
+            input_specs=[
+                TensorSpec((heads, dec_seq, enc_seq), dtype_bytes),
+                TensorSpec((heads, enc_seq, dim // heads), dtype_bytes),
+            ],
+            output_spec=TensorSpec((dec_seq, dim), dtype_bytes),
+        )
+        c = b.raw(ctx, inputs=[sm, v])
+        proj = b.linear(dec_seq, dim, dim, inputs=[c])
+        b.add((dec_seq, dim), entry, proj)
+        b.mlp_block(dec_seq, dim, dim * 4)
+    b.layernorm((dec_seq, dim))
+    b.linear_tied(dec_seq, dim, vocab)  # head tied to token embedding
+    return b.finish()
+
+
+def whisper_medium(*, dtype_bytes: int = 2) -> Graph:
+    """Whisper-Medium-class model (paper Whisp-M: 356 M params, 55 GMACs)."""
+    return build_whisper(
+        "Whisp-M",
+        dim=1024,
+        enc_blocks=11,
+        dec_blocks=10,
+        heads=16,
+        enc_seq=300,
+        dec_seq=48,
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def build_llama(name: str, *, dim: int, blocks: int, heads: int, seq: int = 128, vocab: int = 32000) -> Graph:
+    """Llama-2 style decoder (gated MLP, no biases) for solver-scaling runs."""
+    b = GraphBuilder(name)
+    b.embedding(seq, vocab, dim)
+    hidden = int(dim * 8 / 3 // 256 * 256) or dim * 2
+    for _ in range(blocks):
+        b.attention_block(seq, dim, heads, bias=False)
+        entry = b.cursor
+        b.layernorm((seq, dim))
+        ln = b.cursor
+        gate = b.linear(seq, dim, hidden, bias=False, inputs=[ln])
+        b.activation((seq, hidden))
+        act = b.cursor
+        up = b.linear(seq, dim, hidden, bias=False, inputs=[ln])
+        b.mul((seq, hidden), act, up)
+        down = b.linear(seq, hidden, dim, bias=False)
+        b.add((seq, dim), entry, down)
+    b.layernorm((seq, dim))
+    b.linear(seq, dim, vocab, bias=False)
+    return b.finish()
+
+
+def llama2_13b(seq: int = 128, *, dtype_bytes: int = 2) -> Graph:
+    """Llama2-13B solver-scaling variant (paper Table 4 only)."""
+    return build_llama("Llama2-13B", dim=5120, blocks=40, heads=40, seq=seq)
+
+
+def llama2_70b(seq: int = 128, *, dtype_bytes: int = 2) -> Graph:
+    """Llama2-70B solver-scaling variant (paper Table 4 only)."""
+    return build_llama("Llama2-70B", dim=8192, blocks=80, heads=64, seq=seq)

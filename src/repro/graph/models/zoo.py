@@ -1,0 +1,81 @@
+"""Model zoo registry for the 11 evaluated models plus solver-scaling variants.
+
+:data:`PAPER_CHARACTERIZATION` holds the paper's Table 6 reference rows so
+the Table 6 bench can print paper-vs-built side by side; :func:`load_model`
+builds the lowered graph by abbreviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.graph.dag import Graph
+from repro.graph.models import convnet, sam, transformer
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """Reference characterization of an evaluated model (paper Table 6)."""
+
+    abbr: str
+    full_name: str
+    input_type: str
+    task: str
+    paper_params_m: float
+    paper_macs_g: float
+    paper_layers: int
+    builder: Callable[[], Graph]
+
+
+_CARDS: List[ModelCard] = [
+    ModelCard("GPTN-S", "GPTNeo-Small", "Text", "NLP", 164, 16, 606, transformer.gpt_neo_small),
+    ModelCard("GPTN-1.3B", "GPTNeo-1.3B", "Text", "NLP", 1419, 170, 1110, transformer.gpt_neo_1p3b),
+    ModelCard("GPTN-2.7B", "GPTNeo-2.7B", "Text", "NLP", 2781, 342, 1446, transformer.gpt_neo_2p7b),
+    ModelCard("ResNet50", "ResNet50", "Image", "Classification", 25.6, 4.1, 141, convnet.resnet50),
+    ModelCard("SAM-2", "SegmentationAnything-2", "Image", "Segmentation", 215, 218, 1668, sam.sam2),
+    ModelCard("ViT", "ViT", "Image", "Classification", 103, 21, 819, transformer.vit),
+    ModelCard("DeepViT", "DeepViT", "Image", "Classification", 204, 42, 1395, transformer.deepvit),
+    ModelCard("SD-UNet", "StableDiffusion-UNet", "Image", "Generation", 860, 78, 1271, convnet.sd_unet),
+    ModelCard("Whisp-M", "Whisper-Medium", "Audio", "Speech Recognition", 356, 55, 2026, transformer.whisper_medium),
+    ModelCard("DepA-S", "DepthAnything-Small", "Video", "Segmentation", 24.3, 14, 1108, convnet.depth_anything_small),
+    ModelCard("DepA-L", "DepthAnything-Large", "Video", "Segmentation", 333, 180, 2007, convnet.depth_anything_large),
+]
+
+#: Solver-scaling variants used only by the paper's Table 4.
+_SOLVER_CARDS: List[ModelCard] = [
+    ModelCard("ViT-8B", "ViT-8B", "Image", "Classification", 8000, 0, 0, transformer.vit_8b),
+    ModelCard("Llama2-13B", "Llama2-13B", "Text", "NLP", 13000, 0, 0, transformer.llama2_13b),
+    ModelCard("Llama2-70B", "Llama2-70B", "Text", "NLP", 70000, 0, 0, transformer.llama2_70b),
+]
+
+MODEL_CARDS: Dict[str, ModelCard] = {c.abbr: c for c in _CARDS}
+SOLVER_MODEL_CARDS: Dict[str, ModelCard] = {c.abbr: c for c in _SOLVER_CARDS}
+ALL_CARDS: Dict[str, ModelCard] = {**MODEL_CARDS, **SOLVER_MODEL_CARDS}
+
+#: Paper Table 6 rows, importable for the characterization bench.
+PAPER_CHARACTERIZATION = {c.abbr: (c.paper_params_m, c.paper_macs_g, c.paper_layers) for c in _CARDS}
+
+EVALUATED_MODELS = [c.abbr for c in _CARDS]
+
+
+def available_models() -> List[str]:
+    """Abbreviations of all buildable models (evaluated + solver-scaling)."""
+    return list(ALL_CARDS)
+
+
+def load_model(abbr: str, *, dtype_bytes: int = 2) -> Graph:
+    """Build the lowered graph for a model by its paper abbreviation.
+
+    ``dtype_bytes=4`` builds the fp32 configuration the paper's appendix
+    evaluates (same topology, doubled weight/activation footprints).
+
+    >>> g = load_model("ResNet50")
+    >>> g.total_params > 20_000_000
+    True
+    """
+    try:
+        card = ALL_CARDS[abbr]
+    except KeyError:
+        raise KeyError(f"unknown model {abbr!r}; available: {sorted(ALL_CARDS)}") from None
+    return card.builder(dtype_bytes=dtype_bytes)

@@ -1,0 +1,385 @@
+"""Low-level operator definitions for the DNN graph IR.
+
+The paper lowers each model to a DAG of *low-level operator nodes* (Table 6
+"# Layers" counts these, not high-level blocks).  Every node carries enough
+shape information for the simulator's roofline cost model (FLOPs, bytes read
+and written) and for the load-capacity classifier (operator kind).
+
+Operator taxonomy follows Table 5 of the paper:
+
+- **Elemental** operators (elementwise arithmetic, activations) stream their
+  inputs linearly, are memory-bound, and tolerate a *medium* amount of
+  concurrent data loading.
+- **Reusable** operators (Conv, MatMul) have structured reuse and high
+  arithmetic intensity; they tolerate a *high* concurrent load.
+- **Hierarchical** operators (Softmax, LayerNorm, reductions) synchronise in
+  stages and tolerate essentially *no* concurrent load.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class OpKind(enum.Enum):
+    """Low-level operator kinds produced by graph lowering."""
+
+    MATMUL = "MatMul"
+    CONV2D = "Conv2D"
+    DEPTHWISE_CONV2D = "DepthwiseConv2D"
+    ADD = "Add"
+    MUL = "Mul"
+    ACTIVATION = "Activation"
+    GELU = "GeLU"
+    SOFTMAX = "Softmax"
+    LAYERNORM = "LayerNorm"
+    GROUPNORM = "GroupNorm"
+    BATCHNORM = "BatchNorm"
+    POOL = "Pool"
+    EMBEDDING = "Embedding"
+    RESHAPE = "Reshape"
+    TRANSPOSE = "Transpose"
+    CONCAT = "Concat"
+    SLICE = "Slice"
+    UPSAMPLE = "Upsample"
+    ATTENTION_SCORE = "AttentionScore"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class OpClass(enum.Enum):
+    """Load-capacity classification of an operator (paper Table 5)."""
+
+    ELEMENTAL = "elemental"
+    REUSABLE = "reusable"
+    HIERARCHICAL = "hierarchical"
+    LAYOUT = "layout"  # Reshape/Transpose/Slice: pure layout, near-zero cost
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Mapping from operator kind to its load-capacity class.
+OP_CLASS: Dict[OpKind, OpClass] = {
+    OpKind.MATMUL: OpClass.REUSABLE,
+    OpKind.CONV2D: OpClass.REUSABLE,
+    OpKind.DEPTHWISE_CONV2D: OpClass.REUSABLE,
+    OpKind.ATTENTION_SCORE: OpClass.REUSABLE,
+    OpKind.ADD: OpClass.ELEMENTAL,
+    OpKind.MUL: OpClass.ELEMENTAL,
+    OpKind.ACTIVATION: OpClass.ELEMENTAL,
+    OpKind.GELU: OpClass.ELEMENTAL,
+    OpKind.EMBEDDING: OpClass.ELEMENTAL,
+    OpKind.UPSAMPLE: OpClass.ELEMENTAL,
+    OpKind.POOL: OpClass.ELEMENTAL,
+    OpKind.SOFTMAX: OpClass.HIERARCHICAL,
+    OpKind.LAYERNORM: OpClass.HIERARCHICAL,
+    OpKind.GROUPNORM: OpClass.HIERARCHICAL,
+    OpKind.BATCHNORM: OpClass.HIERARCHICAL,
+    OpKind.RESHAPE: OpClass.LAYOUT,
+    OpKind.TRANSPOSE: OpClass.LAYOUT,
+    OpKind.CONCAT: OpClass.LAYOUT,
+    OpKind.SLICE: OpClass.LAYOUT,
+}
+
+
+def op_class(kind: OpKind) -> OpClass:
+    """Return the load-capacity class for an operator kind."""
+    return OP_CLASS[kind]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and dtype of a tensor flowing through (or stored by) the graph.
+
+    ``dtype_bytes`` defaults to 2 (fp16), matching the paper's primary
+    experimental configuration.
+    """
+
+    shape: Tuple[int, ...]
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("TensorSpec requires a non-empty shape")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"TensorSpec dims must be positive, got {self.shape}")
+        if self.dtype_bytes not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported dtype_bytes {self.dtype_bytes}")
+
+    @property
+    def numel(self) -> int:
+        """Number of scalar elements."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint in bytes."""
+        return self.numel * self.dtype_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "x".join(str(d) for d in self.shape) + f":{self.dtype_bytes}B"
+
+
+@dataclass(frozen=True)
+class WeightSpec:
+    """A weight tensor owned by one operator node.
+
+    Weights are the streaming unit of FlashMem: the OPG solver decides when
+    each weight moves disk -> unified memory (``z_w``) and in which chunks it
+    is transformed into texture memory (``x_{w, l}``).
+    """
+
+    name: str
+    tensor: TensorSpec
+
+    @property
+    def nbytes(self) -> int:
+        return self.tensor.nbytes
+
+    @property
+    def numel(self) -> int:
+        return self.tensor.numel
+
+    def chunk_count(self, chunk_bytes: int) -> int:
+        """Number of fixed-size chunks T(w) the weight splits into."""
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        return max(1, math.ceil(self.nbytes / chunk_bytes))
+
+
+@dataclass
+class OpSpec:
+    """One low-level operator node prior to insertion in a :class:`~repro.graph.dag.Graph`.
+
+    Attributes:
+        kind: operator kind; determines the cost model and load class.
+        name: unique human-readable node name.
+        flops: multiply-accumulate count * 2 (we store FLOPs, i.e. 2*MACs for
+            compute ops; elementwise ops count one FLOP per element).
+        input_specs: activation inputs (weights are carried separately).
+        output_spec: the produced activation tensor.
+        weights: weight tensors this node consumes.
+        attrs: free-form attributes (kernel size, heads, etc.).
+    """
+
+    kind: OpKind
+    name: str
+    flops: int
+    input_specs: Sequence[TensorSpec]
+    output_spec: TensorSpec
+    weights: Sequence[WeightSpec] = field(default_factory=tuple)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ValueError("flops must be non-negative")
+        self.weights = tuple(self.weights)
+        self.input_specs = tuple(self.input_specs)
+
+    @property
+    def op_class(self) -> OpClass:
+        return op_class(self.kind)
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count (FLOPs / 2, floor)."""
+        return self.flops // 2
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(w.nbytes for w in self.weights)
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(t.nbytes for t in self.input_specs)
+
+    @property
+    def output_bytes(self) -> int:
+        return self.output_spec.nbytes
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes touched by the kernel (activations + weights).
+
+        Used by the roofline cost model as the memory-traffic term.
+        """
+        return self.input_bytes + self.output_bytes + self.weight_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte moved; >1 means increasingly compute-bound."""
+        moved = self.bytes_moved
+        return self.flops / moved if moved else 0.0
+
+
+def matmul_spec(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    *,
+    dtype_bytes: int = 2,
+    weight_name: Optional[str] = None,
+    bias: bool = False,
+) -> OpSpec:
+    """Build an ``(m, k) x (k, n)`` MatMul node with an ``(k, n)`` weight.
+
+    ``weight_name`` defaults to ``{name}.w``.  When ``bias`` is set an
+    ``(n,)`` bias weight is attached as well (fused bias add).
+    """
+    wname = weight_name or f"{name}.w"
+    weights = [WeightSpec(wname, TensorSpec((k, n), dtype_bytes))]
+    if bias:
+        weights.append(WeightSpec(f"{name}.b", TensorSpec((n,), dtype_bytes)))
+    return OpSpec(
+        kind=OpKind.MATMUL,
+        name=name,
+        flops=2 * m * k * n,
+        input_specs=[TensorSpec((m, k), dtype_bytes)],
+        output_spec=TensorSpec((m, n), dtype_bytes),
+        weights=weights,
+        attrs={"m": m, "k": k, "n": n},
+    )
+
+
+def conv2d_spec(
+    name: str,
+    h: int,
+    w: int,
+    c_in: int,
+    c_out: int,
+    kernel: int,
+    *,
+    stride: int = 1,
+    dtype_bytes: int = 2,
+    depthwise: bool = False,
+    bias: bool = True,
+) -> OpSpec:
+    """Build a Conv2D (or depthwise Conv2D) node.
+
+    ``h``/``w`` are the *input* spatial dims; output dims are computed from
+    ``stride`` with 'same' padding semantics.
+    """
+    if kernel <= 0 or stride <= 0:
+        raise ValueError("kernel and stride must be positive")
+    oh = max(1, math.ceil(h / stride))
+    ow = max(1, math.ceil(w / stride))
+    if depthwise:
+        if c_in != c_out:
+            raise ValueError("depthwise conv requires c_in == c_out")
+        wshape: Tuple[int, ...] = (c_in, kernel, kernel)
+        flops = 2 * oh * ow * c_in * kernel * kernel
+        kind = OpKind.DEPTHWISE_CONV2D
+    else:
+        wshape = (c_out, c_in, kernel, kernel)
+        flops = 2 * oh * ow * c_out * c_in * kernel * kernel
+        kind = OpKind.CONV2D
+    weights = [WeightSpec(f"{name}.w", TensorSpec(wshape, dtype_bytes))]
+    if bias:
+        weights.append(WeightSpec(f"{name}.b", TensorSpec((c_out,), dtype_bytes)))
+    return OpSpec(
+        kind=kind,
+        name=name,
+        flops=flops,
+        input_specs=[TensorSpec((c_in, h, w), dtype_bytes)],
+        output_spec=TensorSpec((c_out, oh, ow), dtype_bytes),
+        weights=weights,
+        attrs={"kernel": kernel, "stride": stride},
+    )
+
+
+def elementwise_spec(
+    name: str,
+    kind: OpKind,
+    shape: Tuple[int, ...],
+    *,
+    n_inputs: int = 1,
+    dtype_bytes: int = 2,
+    flops_per_elem: int = 1,
+) -> OpSpec:
+    """Build an elementwise node (Add/Mul/Activation/GeLU/...)."""
+    if op_class(kind) is not OpClass.ELEMENTAL:
+        raise ValueError(f"{kind} is not an elemental operator")
+    t = TensorSpec(shape, dtype_bytes)
+    return OpSpec(
+        kind=kind,
+        name=name,
+        flops=flops_per_elem * t.numel,
+        input_specs=[t] * n_inputs,
+        output_spec=t,
+    )
+
+
+def normalization_spec(
+    name: str,
+    kind: OpKind,
+    shape: Tuple[int, ...],
+    *,
+    channels: Optional[int] = None,
+    dtype_bytes: int = 2,
+) -> OpSpec:
+    """Build a hierarchical normalisation node (LayerNorm/GroupNorm/...).
+
+    Carries small per-channel scale/shift weights.
+    """
+    if op_class(kind) is not OpClass.HIERARCHICAL:
+        raise ValueError(f"{kind} is not a hierarchical operator")
+    t = TensorSpec(shape, dtype_bytes)
+    c = channels if channels is not None else shape[-1]
+    weights = [
+        WeightSpec(f"{name}.gamma", TensorSpec((c,), dtype_bytes)),
+        WeightSpec(f"{name}.beta", TensorSpec((c,), dtype_bytes)),
+    ]
+    # Normalisations do ~5 passes worth of arithmetic per element
+    return OpSpec(
+        kind=kind,
+        name=name,
+        flops=5 * t.numel,
+        input_specs=[t],
+        output_spec=t,
+        weights=weights,
+    )
+
+
+def softmax_spec(name: str, shape: Tuple[int, ...], *, dtype_bytes: int = 2) -> OpSpec:
+    """Build a Softmax node (hierarchical: max, exp, sum, divide stages)."""
+    t = TensorSpec(shape, dtype_bytes)
+    return OpSpec(
+        kind=OpKind.SOFTMAX,
+        name=name,
+        flops=4 * t.numel,
+        input_specs=[t],
+        output_spec=t,
+    )
+
+
+def layout_spec(
+    name: str,
+    kind: OpKind,
+    in_shape: Tuple[int, ...],
+    out_shape: Tuple[int, ...],
+    *,
+    dtype_bytes: int = 2,
+) -> OpSpec:
+    """Build a layout node (Reshape/Transpose/Concat/Slice).
+
+    Under SmartMem-style 2.5D layouts most of these are eliminated; they
+    remain in the IR so the lowering/fusion passes have something to remove.
+    """
+    if op_class(kind) is not OpClass.LAYOUT:
+        raise ValueError(f"{kind} is not a layout operator")
+    return OpSpec(
+        kind=kind,
+        name=name,
+        flops=0,
+        input_specs=[TensorSpec(in_shape, dtype_bytes)],
+        output_spec=TensorSpec(out_shape, dtype_bytes),
+    )

@@ -1,0 +1,87 @@
+"""Kernel program objects — what the rewriter emits and the runtime prices.
+
+A :class:`KernelProgram` is the simulated analogue of a compiled OpenCL
+kernel: the rendered source plus the schedule metadata the cost model needs
+(how many bytes of weights ride along, whether the loop is pipelined and
+branch-free).  The execution styles map to the paper's Figure 5 comparison:
+
+- ``RESIDENT``   — no embedded loads (weights already in texture memory).
+- ``BRANCHY``    — naive conditional interleave: warp divergence penalty.
+- ``PIPELINED``  — FlashMem's branch-free software pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.gpusim.device import DeviceProfile
+from repro.gpusim.kernels import KernelCostModel
+from repro.graph.ops import OpSpec
+
+
+class ExecStyle(enum.Enum):
+    RESIDENT = "resident"
+    BRANCHY = "branchy"
+    PIPELINED = "pipelined"
+
+
+#: Relative latency penalty of the divergent interleave (§4.4: conditional
+#: checks "cause warp-level branch divergence and reduce SIMT efficiency").
+BRANCH_DIVERGENCE_PENALTY = 0.35
+
+
+@dataclass
+class KernelProgram:
+    """One instantiated kernel: source text + costing metadata."""
+
+    name: str
+    op: OpSpec
+    source: str
+    style: ExecStyle
+    #: Weight bytes this kernel streams UM -> TM while computing.
+    embedded_load_bytes: int = 0
+    #: (weight name, bytes) detail of the embedded segments.
+    segments: List[tuple] = field(default_factory=list)
+
+    @property
+    def branch_free(self) -> bool:
+        return self.style is not ExecStyle.BRANCHY
+
+    @property
+    def pipelined(self) -> bool:
+        return self.style is ExecStyle.PIPELINED
+
+    def time_ms(self, device: DeviceProfile, *, efficiency: float = 1.0) -> float:
+        """Latency of this kernel on ``device``.
+
+        Pipelined kernels pay the interference model's (mostly hidden)
+        embedded-load cost; branchy kernels additionally pay the divergence
+        penalty on their whole body.
+        """
+        cost = KernelCostModel(device)
+        base = cost.time_with_load_ms(self.op, self.embedded_load_bytes, efficiency=efficiency)
+        if self.style is ExecStyle.BRANCHY and self.embedded_load_bytes > 0:
+            return base * (1.0 + BRANCH_DIVERGENCE_PENALTY)
+        return base
+
+
+@dataclass
+class KernelBundle:
+    """All programs for one model, indexed by layer."""
+
+    model: str
+    programs: Dict[int, KernelProgram] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.programs)
+
+    def total_embedded_bytes(self) -> int:
+        return sum(p.embedded_load_bytes for p in self.programs.values())
+
+    def styles(self) -> Dict[ExecStyle, int]:
+        out: Dict[ExecStyle, int] = {}
+        for p in self.programs.values():
+            out[p.style] = out.get(p.style, 0) + 1
+        return out

@@ -1,0 +1,138 @@
+"""Kernel templates (paper §4.4, Figure 5).
+
+Each template renders an OpenCL-flavoured *simulated kernel program*.  The
+strings are faithful to the structures the paper contrasts:
+
+- :data:`NAIVE_MATMUL` — Figure 5(a): plain load-then-compute MAC loop.
+- :data:`BRANCHY_INTERLEAVED` — the strawman the paper warns about: per-
+  thread conditionals deciding load vs compute (warp divergence).
+- :data:`PIPELINED_MATMUL` — Figure 5(b): branch-free software pipeline —
+  every iteration prefetches the *next* tile of the streamed weight while
+  computing the current one, plus an epilogue draining the pipeline.
+- :data:`ELEMENTAL_STREAM` — elementwise kernel with vectorised embedded
+  loads appended to its linear pass.
+- :data:`TRANSFORM_KERNEL` — a dedicated layout-transformation kernel (the
+  preloading frameworks' path FlashMem avoids).
+
+The simulator never parses the source — cost comes from the accompanying
+:class:`~repro.kernels.codegen.KernelProgram` metadata — but the rendered
+text makes plans inspectable and keeps the rewriter honest about what each
+schedule means.
+"""
+
+NAIVE_MATMUL = """\
+// {{ name }}: naive matmul (Figure 5a) — all operands resident in texture
+__kernel void {{ name }}(
+    __read_only image2d_t tensor_a,
+    __read_only image2d_t tensor_b,
+    __write_only image2d_t output)
+{
+    const int gx = get_global_id(0);
+    const int gy = get_global_id(1);
+    half4 acc = (half4)(0.0h);
+    for (int k = 0; k < {{ k_tiles }}; ++k) {
+        half4 a = read_imageh(tensor_a, sampler, (int2)(k, gy));
+        half4 b = read_imageh(tensor_b, sampler, (int2)(gx, k));
+        acc = fma(a, b, acc);                    // MAC
+    }
+    write_imageh(output, (int2)(gx, gy), acc);
+}
+"""
+
+BRANCHY_INTERLEAVED = """\
+// {{ name }}: naive interleave — conditional load/compute causes
+// warp-level branch divergence (the approach §4.4 rejects)
+__kernel void {{ name }}(
+    __read_only image2d_t tensor_a,
+    __read_only image2d_t tensor_b,
+    __global const half* staged_weight,
+    __write_only image2d_t weight_texture,
+    __write_only image2d_t output)
+{
+    const int gx = get_global_id(0);
+    const int gy = get_global_id(1);
+    half4 acc = (half4)(0.0h);
+    for (int k = 0; k < {{ k_tiles }}; ++k) {
+        if (gx % {{ load_stride }} == 0) {       // DIVERGENT: some threads load
+            vstore_half4(vload4(k, staged_weight), k,
+                         (__global half*)weight_texture);
+        } else {                                  // ... while others compute
+            half4 a = read_imageh(tensor_a, sampler, (int2)(k, gy));
+            half4 b = read_imageh(tensor_b, sampler, (int2)(gx, k));
+            acc = fma(a, b, acc);
+        }
+    }
+    write_imageh(output, (int2)(gx, gy), acc);
+}
+"""
+
+PIPELINED_MATMUL = """\
+// {{ name }}: branch-free pipelined matmul + embedded weight loading
+// (Figure 5b) — prefetch tile t+1 of TensorL while computing tile t.
+__kernel void {{ name }}(
+    __read_only image2d_t tensor_a,
+    __read_only image2d_t tensor_b,
+    __global const half* staged_weights,   // {{ stream_bytes }} B staged in UM
+    __write_only image2d_t weight_texture, // 2.5D destination tiles
+    __write_only image2d_t output)
+{
+    const int gx = get_global_id(0);
+    const int gy = get_global_id(1);
+    half4 acc = (half4)(0.0h);
+    // Prologue: issue the first prefetch before any arithmetic.
+    half4 staged = vload4(gx, staged_weights);
+    for (int t = 0; t < {{ pipeline_tiles }}; ++t) {
+        // 1) commit the tile prefetched last iteration (uniform, no branch)
+        write_imageh(weight_texture, (int2)(gx, t), staged);
+        // 2) issue the next prefetch — latency hides behind the MACs below
+        staged = vload4(gx + (t + 1) * {{ tile_stride }}, staged_weights);
+        // 3) compute the current block
+{% for u in unroll %}        acc = fma(read_imageh(tensor_a, sampler, (int2)({{ u }} + t * {{ unroll_len }}, gy)),
+                  read_imageh(tensor_b, sampler, (int2)(gx, {{ u }} + t * {{ unroll_len }})), acc);
+{% endfor %}    }
+    // Epilogue: drain remaining arithmetic with the pipeline disengaged.
+    for (int k = {{ pipeline_tiles }} * {{ unroll_len }}; k < {{ k_tiles }}; ++k) {
+        acc = fma(read_imageh(tensor_a, sampler, (int2)(k, gy)),
+                  read_imageh(tensor_b, sampler, (int2)(gx, k)), acc);
+    }
+    write_imageh(output, (int2)(gx, gy), acc);
+}
+"""
+
+ELEMENTAL_STREAM = """\
+// {{ name }}: elementwise {{ op }} with vectorised embedded loads —
+// the linear pass leaves the texture path idle, so up to 300% extra
+// data rides along (Table 5 threshold for elemental operators).
+__kernel void {{ name }}(
+    __read_only image2d_t input{% if binary %},
+    __read_only image2d_t input_b{% endif %},
+{% if stream_bytes != 0 %}    __global const half* staged_weights,
+    __write_only image2d_t weight_texture,
+{% endif %}    __write_only image2d_t output)
+{
+    const int gx = get_global_id(0);
+    const int gy = get_global_id(1);
+    half4 v = read_imageh(input, sampler, (int2)(gx, gy));
+{% if binary %}    v += read_imageh(input_b, sampler, (int2)(gx, gy));
+{% else %}    v = {{ op }}(v);
+{% endif %}    write_imageh(output, (int2)(gx, gy), v);
+{% if stream_bytes != 0 %}    // Embedded load: uniform across the warp, no divergence.
+    write_imageh(weight_texture, (int2)(gx, gy),
+                 vload4(gy * get_global_size(0) + gx, staged_weights));
+{% endif %}}
+"""
+
+TRANSFORM_KERNEL = """\
+// {{ name }}: dedicated 2.5D layout transformation ({{ nbytes }} B).
+// This is the standalone pass preloading frameworks pay per tensor at
+// initialization; FlashMem's rewriting folds it into compute kernels.
+__kernel void {{ name }}(
+    __global const half* linear_weights,
+    __write_only image2d_t weight_texture)
+{
+    const int gx = get_global_id(0);
+    const int gy = get_global_id(1);
+    const int row = gy * {{ texture_width }} + gx;
+    write_imageh(weight_texture, (int2)(gx, gy), vload4(row, linear_weights));
+}
+"""

@@ -1,0 +1,183 @@
+"""Minimal text-template engine (Jinja substitute, see DESIGN.md).
+
+The paper instantiates GPU kernels from Jinja templates (§4.4).  Jinja is
+not installable offline, so this module implements the subset the kernel
+templates need:
+
+- ``{{ expr }}`` substitution, with dotted attribute/key lookup;
+- ``{% for x in xs %} ... {% endfor %}`` loops (with ``loop.index0``);
+- ``{% if expr %} ... {% elif expr %} ... {% else %} ... {% endif %}``;
+- truthiness, ``not``, and ``==`` / ``!=`` comparisons in conditions.
+
+Templates are compiled to a node tree once and rendered against a context
+dict.  Anything fancier (filters, macros, inheritance) is out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+
+class TemplateError(Exception):
+    """Raised on syntax errors or unresolvable expressions."""
+
+
+_TOKEN_RE = re.compile(r"({{.*?}}|{%.*?%})", re.DOTALL)
+
+
+# ------------------------------------------------------------------ nodes
+@dataclass
+class _Text:
+    text: str
+
+
+@dataclass
+class _Expr:
+    expr: str
+
+
+@dataclass
+class _For:
+    var: str
+    iterable: str
+    body: List[Any] = field(default_factory=list)
+
+
+@dataclass
+class _If:
+    #: (condition or None for else, body) in order.
+    branches: List[Tuple[Optional[str], List[Any]]] = field(default_factory=list)
+
+
+Node = Union[_Text, _Expr, _For, _If]
+
+
+def _lookup(expr: str, context: Dict[str, Any]) -> Any:
+    """Resolve a dotted path (or int/str literal) against the context."""
+    expr = expr.strip()
+    if not expr:
+        raise TemplateError("empty expression")
+    if expr.isdigit() or (expr[0] == "-" and expr[1:].isdigit()):
+        return int(expr)
+    if len(expr) >= 2 and expr[0] == expr[-1] and expr[0] in "'\"":
+        return expr[1:-1]
+    parts = expr.split(".")
+    try:
+        value: Any = context[parts[0]]
+    except KeyError:
+        raise TemplateError(f"undefined variable {parts[0]!r}") from None
+    for attr in parts[1:]:
+        if isinstance(value, dict):
+            try:
+                value = value[attr]
+            except KeyError:
+                raise TemplateError(f"no key {attr!r} in {parts[0]!r}") from None
+        elif hasattr(value, attr):
+            value = getattr(value, attr)
+        else:
+            raise TemplateError(f"cannot resolve {expr!r} at {attr!r}")
+    return value
+
+
+def _evaluate_condition(expr: str, context: Dict[str, Any]) -> bool:
+    expr = expr.strip()
+    for op, fn in (("==", lambda a, b: a == b), ("!=", lambda a, b: a != b)):
+        if op in expr:
+            left, right = expr.split(op, 1)
+            return fn(_lookup(left, context), _lookup(right, context))
+    if expr.startswith("not "):
+        return not bool(_lookup(expr[4:], context))
+    return bool(_lookup(expr, context))
+
+
+class Template:
+    """A compiled template; render with a context dict."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        tokens = [t for t in _TOKEN_RE.split(source) if t]
+        self._nodes, rest = self._parse(tokens, 0, ())
+        if rest != len(tokens):
+            raise TemplateError("unexpected trailing block tag")
+
+    # ------------------------------------------------------------- parsing
+    def _parse(self, tokens: List[str], pos: int, stop: Tuple[str, ...]) -> Tuple[List[Node], int]:
+        nodes: List[Node] = []
+        while pos < len(tokens):
+            tok = tokens[pos]
+            if tok.startswith("{{"):
+                nodes.append(_Expr(tok[2:-2].strip()))
+                pos += 1
+            elif tok.startswith("{%"):
+                tag = tok[2:-2].strip()
+                keyword = tag.split(None, 1)[0]
+                if keyword in stop:
+                    return nodes, pos
+                if keyword == "for":
+                    m = re.fullmatch(r"for\s+(\w+)\s+in\s+(.+)", tag)
+                    if not m:
+                        raise TemplateError(f"malformed for tag: {tag!r}")
+                    body, pos = self._parse(tokens, pos + 1, ("endfor",))
+                    if pos >= len(tokens):
+                        raise TemplateError("unterminated for block")
+                    pos += 1  # consume endfor
+                    nodes.append(_For(var=m.group(1), iterable=m.group(2), body=body))
+                elif keyword == "if":
+                    node = _If()
+                    cond: Optional[str] = tag[2:].strip()
+                    while True:
+                        body, pos = self._parse(tokens, pos + 1, ("elif", "else", "endif"))
+                        if pos >= len(tokens):
+                            raise TemplateError("unterminated if block")
+                        node.branches.append((cond, body))
+                        closer = tokens[pos][2:-2].strip()
+                        if closer.startswith("elif"):
+                            cond = closer[4:].strip()
+                            continue
+                        if closer == "else":
+                            cond = None
+                            continue
+                        break  # endif
+                    pos += 1  # consume endif
+                    nodes.append(node)
+                else:
+                    raise TemplateError(f"unknown tag {keyword!r}")
+            else:
+                nodes.append(_Text(tok))
+                pos += 1
+        if stop:
+            raise TemplateError(f"expected one of {stop} before end of template")
+        return nodes, pos
+
+    # ------------------------------------------------------------ rendering
+    def render(self, **context: Any) -> str:
+        out: List[str] = []
+        self._render_nodes(self._nodes, dict(context), out)
+        return "".join(out)
+
+    def _render_nodes(self, nodes: List[Node], context: Dict[str, Any], out: List[str]) -> None:
+        for node in nodes:
+            if isinstance(node, _Text):
+                out.append(node.text)
+            elif isinstance(node, _Expr):
+                out.append(str(_lookup(node.expr, context)))
+            elif isinstance(node, _For):
+                iterable = _lookup(node.iterable, context)
+                items = list(iterable)
+                for i, item in enumerate(items):
+                    scope = dict(context)
+                    scope[node.var] = item
+                    scope["loop"] = {
+                        "index0": i,
+                        "index": i + 1,
+                        "first": i == 0,
+                        "last": i == len(items) - 1,
+                    }
+                    self._render_nodes(node.body, scope, out)
+            elif isinstance(node, _If):
+                for cond, body in node.branches:
+                    if cond is None or _evaluate_condition(cond, context):
+                        self._render_nodes(body, context, out)
+                        break

@@ -1,0 +1,24 @@
+"""In-repo CP-SAT-style solver: the OR-Tools substitute (DESIGN.md §1)."""
+
+from repro.opg.cpsat.model import (
+    CpModel,
+    Implication,
+    IntVar,
+    LinearConstraint,
+    Solution,
+    SolveStatus,
+)
+from repro.opg.cpsat.propagation import Domains, propagate
+from repro.opg.cpsat.search import CpSolver
+
+__all__ = [
+    "CpModel",
+    "Implication",
+    "IntVar",
+    "LinearConstraint",
+    "Solution",
+    "SolveStatus",
+    "Domains",
+    "propagate",
+    "CpSolver",
+]

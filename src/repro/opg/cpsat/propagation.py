@@ -1,0 +1,119 @@
+"""Bounds propagation for the CP model.
+
+Fixed-point propagation over variable domains represented as (lo, hi)
+arrays:
+
+- linear constraints tighten each variable against the residual slack of the
+  other terms (standard bounds consistency for positive coefficients);
+- implications propagate both directions: triggering the condition clamps
+  the consequent's upper bound, and a violated consequent forbids the
+  condition (``lb(then) > then_ub  =>  cond <= cond_ge - 1``).
+
+Returns ``False`` on a wiped-out domain (dead branch).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.opg.cpsat.model import CpModel
+
+
+class Domains:
+    """Mutable per-variable bounds with copy support for search."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: List[int], hi: List[int]) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def from_model(cls, model: CpModel) -> "Domains":
+        return cls([v.lo for v in model.variables], [v.hi for v in model.variables])
+
+    def copy(self) -> "Domains":
+        return Domains(list(self.lo), list(self.hi))
+
+    def is_assigned(self, idx: int) -> bool:
+        return self.lo[idx] == self.hi[idx]
+
+    def all_assigned(self) -> bool:
+        return all(l == h for l, h in zip(self.lo, self.hi))
+
+    def assignment(self) -> List[int]:
+        if not self.all_assigned():
+            raise RuntimeError("domains not fully assigned")
+        return list(self.lo)
+
+
+def propagate(model: CpModel, domains: Domains, *, max_passes: int = 64) -> Tuple[bool, int]:
+    """Run propagation to fixpoint.
+
+    Returns ``(consistent, tightenings)``: consistent is False when some
+    domain became empty; tightenings counts bound updates (for stats).
+    """
+    lo, hi = domains.lo, domains.hi
+    tightenings = 0
+    for _ in range(max_passes):
+        changed = False
+
+        for con in model.linears:
+            # Current bounds of the sum.
+            sum_lo = 0
+            sum_hi = 0
+            for idx, coef in con.terms:
+                sum_lo += coef * lo[idx]
+                sum_hi += coef * hi[idx]
+            if sum_lo > con.hi or sum_hi < con.lo:
+                return False, tightenings
+            for idx, coef in con.terms:
+                term_lo = coef * lo[idx]
+                term_hi = coef * hi[idx]
+                rest_lo = sum_lo - term_lo
+                rest_hi = sum_hi - term_hi
+                # coef * v <= con.hi - rest_lo  ->  v <= floor((con.hi - rest_lo)/coef)
+                new_hi = (con.hi - rest_lo) // coef
+                # coef * v >= con.lo - rest_hi  ->  v >= ceil((con.lo - rest_hi)/coef)
+                need = con.lo - rest_hi
+                new_lo = -((-need) // coef) if need > 0 else lo[idx]
+                if new_hi < hi[idx]:
+                    hi[idx] = new_hi
+                    changed = True
+                    tightenings += 1
+                if new_lo > lo[idx]:
+                    lo[idx] = new_lo
+                    changed = True
+                    tightenings += 1
+                if lo[idx] > hi[idx]:
+                    return False, tightenings
+
+        for imp in model.implications:
+            # cond >= cond_ge guaranteed -> then <= then_ub
+            if lo[imp.cond] >= imp.cond_ge:
+                if imp.then_ub < hi[imp.then]:
+                    hi[imp.then] = imp.then_ub
+                    changed = True
+                    tightenings += 1
+                    if lo[imp.then] > hi[imp.then]:
+                        return False, tightenings
+            # then must exceed then_ub -> cond must stay below cond_ge
+            if lo[imp.then] > imp.then_ub:
+                if hi[imp.cond] >= imp.cond_ge:
+                    hi[imp.cond] = imp.cond_ge - 1
+                    changed = True
+                    tightenings += 1
+                    if lo[imp.cond] > hi[imp.cond]:
+                        return False, tightenings
+
+        if not changed:
+            break
+    return True, tightenings
+
+
+def objective_lower_bound(model: CpModel, domains: Domains) -> int:
+    """Optimistic objective value from current bounds."""
+    total = model.objective_offset
+    for idx, coef in model.objective:
+        total += coef * (domains.lo[idx] if coef > 0 else domains.hi[idx])
+    return total

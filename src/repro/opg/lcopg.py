@@ -1,0 +1,481 @@
+"""LC-OPG: the Load-Capacity-aware Overlap Plan Generation solver (§3.2).
+
+Orchestrates the full pipeline the paper describes:
+
+1. **Process nodes** — materialise the OPG instance (weights, T(w), i_w,
+   candidate layers, per-layer capacities C_l).
+2. **Incremental scheduling** — slide a rolling window over the layer
+   sequence; each window's weights are scheduled by a CP model built over
+   the *remaining* per-layer budgets, keeping the active constraint set
+   small and the solver runtime predictable.
+3. **Tiered fallbacks (C4)** — on infeasibility or timeout: soft threshold
+   adjustment (relax C_l), incremental preloading (move the largest
+   offending weight into W), and finally the greedy heuristic backup.
+4. **Hybrid execution mode** — when CP exceeds its window budget without an
+   incumbent, the window switches to the greedy schedule outright.
+
+The result is an :class:`~repro.opg.plan.OverlapPlan` with full provenance
+(per-window solver statuses, fallback counts, timings — Table 4's columns).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.capacity.model import LoadCapacityModel
+from repro.graph.dag import Graph
+from repro.opg.cpsat.model import CpModel, SolveStatus
+from repro.opg.cpsat.search import CpSolver
+from repro.opg.exact import edf_feasible, prove_window
+from repro.opg.heuristics import Budgets, greedy_assign, greedy_schedule
+from repro.opg.plan import OverlapPlan, PlanStats, WeightSchedule
+from repro.opg.problem import OpgConfig, OpgProblem, WeightInfo, build_problem
+
+#: Sentinel assignment for dedicated-transform (conv) weights.
+DEDICATED = object()
+
+
+class LcOpgSolver:
+    """Load-capacity-aware overlap planner.
+
+    ``use_cp=False`` forces pure-heuristic mode (used by ablations and as
+    the paper's hybrid fallback for pathological instances).
+    """
+
+    def __init__(self, config: Optional[OpgConfig] = None, *, use_cp: bool = True) -> None:
+        self.config = config or OpgConfig()
+        self.use_cp = use_cp
+
+    # ------------------------------------------------------------------ API
+    def solve(
+        self,
+        graph: Graph,
+        capacity_model: LoadCapacityModel,
+        *,
+        device_name: str = "",
+        target_preload_ratio: Optional[float] = None,
+    ) -> OverlapPlan:
+        """Produce the overlap plan for ``graph``.
+
+        ``target_preload_ratio`` optionally forces a fraction of weight
+        bytes into W before streaming is planned (the Figure 8 trade-off
+        knob).  When omitted it derives from λ: λ <= 0.9 is pure memory
+        priority (no extra preload); λ -> 1 linearly approaches full
+        preload, matching the paper's "higher preload ratio via larger λ".
+        """
+        stats = PlanStats()
+        t0 = time.perf_counter()
+        problem = build_problem(graph, capacity_model, self.config)
+        stats.process_nodes_s = time.perf_counter() - t0
+
+        if target_preload_ratio is None:
+            target_preload_ratio = max(0.0, (self.config.lam - 0.9) / 0.1)
+        target_preload_ratio = min(1.0, max(0.0, target_preload_ratio))
+
+        forced_preloads = self._select_extra_preloads(problem, target_preload_ratio)
+
+        budgets = Budgets(
+            problem.layer_capacity, problem.layer_m_peak, max_soft_rounds=self.config.max_soft_rounds
+        )
+        schedules: Dict[str, WeightSchedule] = {}
+        statuses: List[SolveStatus] = []
+        deadline = time.perf_counter() + self.config.time_limit_s
+
+        windows = self._windows(problem)
+        stats.windows = len(windows)
+        deferred: List[WeightInfo] = []
+        for window_index, window_weights in enumerate(windows):
+            remaining_windows = len(windows) - window_index
+            remaining_time = max(0.05, deadline - time.perf_counter())
+            window_limit = remaining_time / remaining_windows
+            assignments, status = self._solve_window(
+                problem, window_weights, budgets, forced_preloads, window_limit, stats, deferred
+            )
+            statuses.append(status)
+            deferred_names = {w.name for w in deferred}
+            for w in window_weights:
+                if w.name in deferred_names:
+                    continue  # scheduled by the rescue pass below
+                schedules[w.name] = self._make_schedule(problem, w, assignments.get(w.name))
+
+        # Long-range rescue: weights too large for their CP window stream
+        # across the extended horizon using whatever capacity the regular
+        # schedule left behind; only what still does not fit is preloaded.
+        for w in sorted(deferred, key=lambda w: w.consumer_layer):
+            lo = max(0, w.consumer_layer - self.config.long_lookback)
+            candidates = [l for l in range(lo, w.consumer_layer) if budgets.available(l) > 0]
+            placed = greedy_assign(w, budgets, candidates=candidates)
+            if placed is None:
+                stats.incremental_preloads += 1
+            schedules[w.name] = self._make_schedule(problem, w, placed)
+
+        stats.solve_s = time.perf_counter() - t0 - stats.process_nodes_s - stats.build_model_s
+        status = self._aggregate_status(statuses)
+        if status is SolveStatus.OPTIMAL and (
+            stats.soft_threshold_rounds or stats.incremental_preloads or stats.heuristic_windows
+        ):
+            status = SolveStatus.FEASIBLE  # fallbacks fired: not a proven optimum
+        stats.solver_status = status.value
+        return OverlapPlan(
+            model=graph.name,
+            device=device_name,
+            chunk_bytes=self.config.chunk_bytes,
+            m_peak_bytes=self.config.m_peak_bytes,
+            schedules=schedules,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _select_extra_preloads(self, problem: OpgProblem, ratio: float) -> set:
+        """Pick weights to pin into W until ``ratio`` of bytes are preloaded.
+
+        Earliest consumers first: preloading them removes the start-of-run
+        stall risk, which is where extra preload buys the most latency.
+        """
+        pinned = set(self.config.preload_hint_weights)
+        if ratio <= 0.0:
+            return pinned
+        total = sum(w.nbytes for w in problem.weights)
+        preloaded = sum(w.nbytes for w in problem.weights if w.forced_preload or w.name in pinned)
+        for w in sorted(problem.weights, key=lambda w: w.consumer_layer):
+            if preloaded >= ratio * total:
+                break
+            if w.forced_preload or w.name in pinned:
+                continue
+            pinned.add(w.name)
+            preloaded += w.nbytes
+        return pinned
+
+    def _windows(self, problem: OpgProblem) -> List[List[WeightInfo]]:
+        """Partition streamable weights into rolling windows by consumer layer."""
+        windows: List[List[WeightInfo]] = []
+        current: List[WeightInfo] = []
+        window_end = self.config.window_layers
+        for w in sorted(problem.weights, key=lambda w: (w.consumer_layer, w.name)):
+            while w.consumer_layer >= window_end:
+                if current:
+                    windows.append(current)
+                    current = []
+                window_end += self.config.window_layers
+            current.append(w)
+        if current:
+            windows.append(current)
+        return windows
+
+    def _solve_window(
+        self,
+        problem: OpgProblem,
+        weights: Sequence[WeightInfo],
+        budgets: Budgets,
+        forced_preloads: set,
+        time_limit_s: float,
+        stats: PlanStats,
+        deferred: List[WeightInfo],
+    ) -> Tuple[Dict[str, Optional[Dict[int, int]]], SolveStatus]:
+        """Schedule one window with the tiered fallback protocol.
+
+        Returns (assignments, status); an assignment of None means preload.
+        """
+        to_stream = [
+            w
+            for w in weights
+            if not w.forced_preload and not w.dedicated_transform and w.name not in forced_preloads
+        ]
+        assignments: Dict[str, Optional[Dict[int, int]]] = {
+            w.name: None for w in weights if w.forced_preload or w.name in forced_preloads
+        }
+        for w in weights:
+            # Conv weights: stream the disk load, run a dedicated Winograd
+            # transform at the consumer (no embedded segments to schedule).
+            if w.dedicated_transform and w.name not in forced_preloads:
+                assignments[w.name] = DEDICATED
+        if not to_stream:
+            return assignments, SolveStatus.OPTIMAL
+
+        preload_set: set = set()
+
+        def solo_fits(w: WeightInfo) -> bool:
+            return sum(budgets.available(l) for l in w.candidates) >= w.total_chunks
+
+        deferred_here: List[WeightInfo] = []
+
+        def defer(w: WeightInfo) -> None:
+            """C4 handoff: the weight leaves this window's CP model and is
+            retried by the long-range rescue pass (then W if it still does
+            not fit)."""
+            preload_set.add(w.name)
+            deferred_here.append(w)
+
+        def pin_unfittable(candidates_pool: Sequence[WeightInfo]) -> None:
+            for w in candidates_pool:
+                if w.name not in preload_set and w.name not in assignments and not solo_fits(w):
+                    defer(w)
+
+        pin_unfittable(to_stream)
+
+        def soft_rescuable() -> bool:
+            """Whether relaxing C_l within the remaining quota could make
+            some deferred weight fit (don't burn the global quota on
+            hopeless cases like LM heads, which the long-range rescue
+            handles instead)."""
+            rounds_left = budgets.max_soft_rounds - budgets.soft_rounds_used
+            if rounds_left <= 0:
+                return False
+            max_scale = self.config.soft_threshold_factor ** rounds_left
+            for w in to_stream:
+                if w.name not in preload_set:
+                    continue
+                aggregate = sum(budgets.available(l) for l in w.candidates)
+                if aggregate and w.total_chunks <= aggregate * max_scale:
+                    return True
+            return False
+
+        # Tier 1 (soft thresholding) rescues borderline weights before they
+        # are pinned for good, quota permitting.
+        while soft_rescuable() and budgets.scale_capacity(self.config.soft_threshold_factor):
+            stats.soft_threshold_rounds += 1
+            rescued = [w for w in to_stream if w.name in preload_set and solo_fits(w)]
+            for w in rescued:
+                preload_set.discard(w.name)
+                deferred_here[:] = [d for d in deferred_here if d.name != w.name]
+
+        cp_rounds = 0
+        while True:
+            streaming = [
+                w for w in to_stream if w.name not in preload_set and w.name not in assignments
+            ]
+            if not streaming:
+                break
+            # Joint demand must actually pack into the candidate layers.
+            # The EDF oracle decides this exactly (interval availability);
+            # tier 2 defers the largest weights until the rest fit, so the
+            # CP model is feasible by construction.
+            while streaming:
+                releases = {}
+                packable = True
+                for w in streaming:
+                    avail = [l for l in w.candidates if budgets.available(l) > 0]
+                    if not avail:
+                        packable = False
+                        break
+                    releases[w.name] = min(avail)
+                if packable and edf_feasible(streaming, releases, budgets) is not None:
+                    break
+                defer(max(streaming, key=lambda w: w.nbytes))
+                streaming = [w for w in streaming if w.name not in preload_set]
+            if not streaming:
+                break
+            result = None
+            if self.use_cp:
+                result = self._cp_window(problem, streaming, budgets, time_limit_s, stats)
+            if result is not None:
+                placed, status = result
+                assignments.update(placed)
+                deferred.extend(deferred_here)
+                return assignments, status
+            cp_rounds += 1
+            if cp_rounds <= 1 and len(streaming) > 1:
+                # One more CP attempt after deferring the single largest
+                # weight (CP timed out despite a packable window).
+                defer(max(streaming, key=lambda w: w.nbytes))
+                continue
+            break
+
+        # Tier 3: greedy heuristic backup for whatever is left.
+        stats.heuristic_windows += 1
+        leftover = [
+            w for w in to_stream if w.name not in preload_set and w.name not in assignments
+        ]
+        greedy = greedy_schedule(problem, leftover, budgets)
+        assignments.update(greedy)
+        deferred.extend(deferred_here)
+        return assignments, SolveStatus.FEASIBLE
+
+    def _cp_window(
+        self,
+        problem: OpgProblem,
+        weights: Sequence[WeightInfo],
+        budgets: Budgets,
+        time_limit_s: float,
+        stats: PlanStats,
+    ) -> Optional[Tuple[Dict[str, Dict[int, int]], SolveStatus]]:
+        """Build and solve the CP model for one window.
+
+        Returns None when no feasible schedule was found (callers fall back);
+        otherwise commits budgets and returns the placements.
+        """
+        build_start = time.perf_counter()
+        # Decision hints: an exact EDF packing (always jointly consistent,
+        # so the first hinted descent lands on a complete solution), with a
+        # latest-first greedy overlay where it succeeds (better distances).
+        edf_releases = {}
+        for w in weights:
+            avail = [l for l in w.candidates if budgets.available(l) > 0]
+            if not avail:
+                stats.build_model_s += time.perf_counter() - build_start
+                return None
+            edf_releases[w.name] = min(avail)
+        hints: Optional[Dict[str, Dict[int, int]]] = edf_feasible(weights, edf_releases, budgets)
+        if hints is None:
+            stats.build_model_s += time.perf_counter() - build_start
+            return None  # window is genuinely over-subscribed
+        probe = Budgets(budgets.capacity, budgets.m_peak)
+        greedy_hints: Dict[str, Optional[Dict[int, int]]] = {}
+        greedy_ok = True
+        for w in sorted(weights, key=lambda w: w.consumer_layer):
+            greedy_hints[w.name] = greedy_assign(w, probe)
+            if greedy_hints[w.name] is None:
+                greedy_ok = False
+        if greedy_ok:
+            hints = {k: v for k, v in greedy_hints.items() if v is not None}
+        # Per-weight latest feasible load layer (solo, against current
+        # budgets): a valid upper bound for z_w that makes the objective
+        # bound tight enough to *prove* optimality on uncontended windows.
+        z_best: Dict[str, int] = {}
+        for w in weights:
+            solo = greedy_assign(w, Budgets(budgets.capacity, budgets.m_peak), commit=False)
+            if solo:
+                z_best[w.name] = min(solo)
+
+        model = CpModel()
+        x_vars: Dict[Tuple[str, int], object] = {}
+        z_vars: Dict[str, object] = {}
+        by_layer: Dict[int, List[Tuple[object, int]]] = {}
+        for w in weights:
+            candidates = [l for l in w.candidates if budgets.available(l) > 0]
+            if not candidates:
+                stats.build_model_s += time.perf_counter() - build_start
+                return None  # cannot stream this weight against current budgets
+            if sum(budgets.available(l) for l in candidates) < w.total_chunks:
+                stats.build_model_s += time.perf_counter() - build_start
+                return None  # aggregate capacity shortfall (paper: total chunk capacity)
+            hint = hints.get(w.name) or {}
+            terms = []
+            for l in candidates:
+                x = model.new_int(
+                    0,
+                    min(w.total_chunks, budgets.available(l)),
+                    f"x[{w.name},{l}]",
+                    hint=hint.get(l, 0),
+                )
+                x_vars[(w.name, l)] = x
+                terms.append((x, 1))
+                by_layer.setdefault(l, []).append((x, 1))
+            z_hi = z_best.get(w.name, w.consumer_layer)
+            z = model.new_int(
+                min(candidates),
+                z_hi,
+                f"z[{w.name}]",
+                hint=min(min(hint), z_hi) if hint else min(candidates),
+            )
+            z_vars[w.name] = z
+            # C0 — completeness of allocation.
+            model.add_sum_eq(terms, w.total_chunks, name=f"C0[{w.name}]")
+            # C1 — loading distance implication.
+            for l in candidates:
+                model.add_implication(x_vars[(w.name, l)], 1, z, l, name=f"C1[{w.name},{l}]")
+        # C2 / C3 — per-layer transform volume and load capacity.
+        for l, terms in by_layer.items():
+            model.add_sum_le(terms, budgets.m_peak[l], name=f"C2[{l}]")
+            model.add_sum_le(terms, budgets.capacity[l], name=f"C3[{l}]")
+        # Objective: minimise total loading distance sum(i_w - z_w).
+        model.minimize(
+            [(z, -1) for z in z_vars.values()],
+            offset=sum(w.consumer_layer for w in weights),
+        )
+        stats.build_model_s += time.perf_counter() - build_start
+
+        solution = CpSolver(
+            time_limit_s=time_limit_s * 0.7, max_nodes=self.config.max_nodes_per_window
+        ).solve(model)
+        stats.nodes_explored += solution.nodes_explored
+        stats.cp_windows += 1
+        if not solution.feasible:
+            return None
+        placed: Dict[str, Dict[int, int]] = {}
+        for w in weights:
+            assignment = {}
+            for l in w.candidates:
+                var = x_vars.get((w.name, l))
+                if var is None:
+                    continue
+                chunks = solution.value_of(var)
+                if chunks > 0:
+                    assignment[l] = chunks
+            placed[w.name] = assignment
+        status = solution.status
+        if status is SolveStatus.FEASIBLE and len(weights) <= self.config.prover_max_weights:
+            # The chunk plateau keeps generic B&B from finishing; the exact
+            # release-vector prover can close (or improve) the incumbent
+            # when the incumbent is already near the solo lower bound
+            # (wide gaps are combinatorial — not worth the budget).
+            solo_bound = 0
+            for w in weights:
+                filled, best_l = 0, None
+                for l in sorted(w.candidates, reverse=True):
+                    if budgets.available(l) <= 0:
+                        continue
+                    filled += budgets.available(l)
+                    best_l = l
+                    if filled >= w.total_chunks:
+                        break
+                solo_bound += w.consumer_layer - (best_l if best_l is not None else w.consumer_layer)
+            incumbent_obj = sum(
+                w.consumer_layer - min(placed[w.name]) for w in weights if placed[w.name]
+            )
+            if incumbent_obj - solo_bound <= self.config.prover_max_gap:
+                improved, proven = prove_window(
+                    weights, budgets, placed, time_limit_s=min(0.5, time_limit_s * 0.3)
+                )
+                if proven:
+                    placed = improved
+                    status = SolveStatus.OPTIMAL
+        for assignment in placed.values():
+            for l, chunks in assignment.items():
+                budgets.consume(l, chunks)
+        return placed, status
+
+    def _make_schedule(
+        self, problem: OpgProblem, w: WeightInfo, assignment
+    ) -> WeightSchedule:
+        if assignment is DEDICATED:
+            return WeightSchedule(
+                weight=w.name,
+                nbytes=w.nbytes,
+                consumer_layer=w.consumer_layer,
+                preloaded=False,
+                load_layer=max(0, w.consumer_layer - problem.config.lookback),
+                chunk_bytes=problem.config.chunk_bytes,
+                total_chunks=w.total_chunks,
+                dedicated_transform=True,
+            )
+        if not assignment:
+            return WeightSchedule(
+                weight=w.name,
+                nbytes=w.nbytes,
+                consumer_layer=w.consumer_layer,
+                preloaded=True,
+                chunk_bytes=problem.config.chunk_bytes,
+                total_chunks=w.total_chunks,
+            )
+        return WeightSchedule(
+            weight=w.name,
+            nbytes=w.nbytes,
+            consumer_layer=w.consumer_layer,
+            preloaded=False,
+            load_layer=min(assignment),
+            transforms=dict(sorted(assignment.items())),
+            chunk_bytes=problem.config.chunk_bytes,
+            total_chunks=w.total_chunks,
+        )
+
+    @staticmethod
+    def _aggregate_status(statuses: Sequence[SolveStatus]) -> SolveStatus:
+        if not statuses:
+            return SolveStatus.OPTIMAL
+        if all(s is SolveStatus.OPTIMAL for s in statuses):
+            return SolveStatus.OPTIMAL
+        if any(s in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE) for s in statuses):
+            return SolveStatus.FEASIBLE
+        return SolveStatus.UNKNOWN

@@ -1,0 +1,184 @@
+"""Overlap plan: the artifact the LC-OPG solver produces (paper §3).
+
+A plan tells the runtime, for every weight:
+
+- whether it is *preloaded* (in the set W — loaded and transformed by
+  dedicated data-loading kernels before execution starts);
+- otherwise, at which layer its disk -> unified-memory load is issued
+  (``z_w``) and how many chunks each earlier layer transforms into texture
+  memory (``x_{w, l}``), including byte offsets for each segment.
+
+Plans are produced offline, are model+device specific, and are reusable —
+the runtime only reads them (paper: "incurs no runtime overhead").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class TransformSegment:
+    """A contiguous byte range of one weight transformed at one layer."""
+
+    layer: int
+    chunks: int
+    start_offset: int
+    end_offset: int
+
+
+@dataclass
+class WeightSchedule:
+    """Complete loading schedule of one weight."""
+
+    weight: str
+    nbytes: int
+    consumer_layer: int  # i_w: first (and in this IR only) consuming layer
+    preloaded: bool
+    #: z_w: layer at whose start the disk load is issued (-1 when preloaded).
+    load_layer: int = -1
+    #: layer index -> chunk count transformed while that layer computes.
+    transforms: Dict[int, int] = field(default_factory=dict)
+    chunk_bytes: int = 0
+    total_chunks: int = 0
+    #: Conv weights: streamed from disk but transformed by a dedicated
+    #: (non-overlapped) Winograd kernel at the consumer (paper §5.2/§5.4).
+    dedicated_transform: bool = False
+
+    @property
+    def loading_distance(self) -> int:
+        """i_w - z_w (paper's residency proxy); 0 for preloaded weights."""
+        if self.preloaded or self.load_layer < 0:
+            return 0
+        return self.consumer_layer - self.load_layer
+
+    @property
+    def streamed_chunks(self) -> int:
+        return sum(self.transforms.values())
+
+    def segments(self) -> List[TransformSegment]:
+        """Byte segments per transforming layer, in layer order.
+
+        This is the "mapping that specifies which weight segments will be
+        preloaded ... along with their corresponding start and end offsets"
+        from §3.2.
+        """
+        out: List[TransformSegment] = []
+        offset = 0
+        for layer in sorted(self.transforms):
+            chunks = self.transforms[layer]
+            nbytes = min(chunks * self.chunk_bytes, self.nbytes - offset)
+            out.append(
+                TransformSegment(
+                    layer=layer, chunks=chunks, start_offset=offset, end_offset=offset + nbytes
+                )
+            )
+            offset += nbytes
+        return out
+
+
+@dataclass
+class PlanStats:
+    """Provenance of a plan: solver timings and fallback activity."""
+
+    process_nodes_s: float = 0.0
+    build_model_s: float = 0.0
+    solve_s: float = 0.0
+    solver_status: str = "UNKNOWN"
+    windows: int = 0
+    cp_windows: int = 0
+    heuristic_windows: int = 0
+    soft_threshold_rounds: int = 0
+    incremental_preloads: int = 0
+    nodes_explored: int = 0
+
+
+@dataclass
+class OverlapPlan:
+    """The full per-model schedule consumed by the FlashMem runtime."""
+
+    model: str
+    device: str
+    chunk_bytes: int
+    m_peak_bytes: int
+    schedules: Dict[str, WeightSchedule]
+    stats: PlanStats = field(default_factory=PlanStats)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def preloaded_weights(self) -> List[str]:
+        return [name for name, s in self.schedules.items() if s.preloaded]
+
+    @property
+    def streamed_weights(self) -> List[str]:
+        return [name for name, s in self.schedules.items() if not s.preloaded]
+
+    @property
+    def preload_bytes(self) -> int:
+        return sum(s.nbytes for s in self.schedules.values() if s.preloaded)
+
+    @property
+    def streamed_bytes(self) -> int:
+        return sum(s.nbytes for s in self.schedules.values() if not s.preloaded)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.preload_bytes + self.streamed_bytes
+
+    @property
+    def preload_ratio(self) -> float:
+        total = self.total_bytes
+        return self.preload_bytes / total if total else 0.0
+
+    def transforms_at(self, layer: int) -> List[Tuple[str, int]]:
+        """(weight, chunks) pairs transformed while ``layer`` computes."""
+        out = []
+        for name, s in self.schedules.items():
+            if layer in s.transforms:
+                out.append((name, s.transforms[layer]))
+        return out
+
+    def loads_at(self, layer: int) -> List[str]:
+        """Weights whose disk load is issued at the start of ``layer``."""
+        return [
+            name
+            for name, s in self.schedules.items()
+            if not s.preloaded and s.load_layer == layer
+        ]
+
+    # ----------------------------------------------------------- persistence
+    def to_json(self) -> str:
+        payload = {
+            "model": self.model,
+            "device": self.device,
+            "chunk_bytes": self.chunk_bytes,
+            "m_peak_bytes": self.m_peak_bytes,
+            "stats": asdict(self.stats),
+            "schedules": {
+                name: {
+                    **asdict(s),
+                    "transforms": {str(k): v for k, v in s.transforms.items()},
+                }
+                for name, s in self.schedules.items()
+            },
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OverlapPlan":
+        payload = json.loads(text)
+        schedules = {}
+        for name, raw in payload["schedules"].items():
+            raw = dict(raw)
+            raw["transforms"] = {int(k): v for k, v in raw["transforms"].items()}
+            schedules[name] = WeightSchedule(**raw)
+        return cls(
+            model=payload["model"],
+            device=payload["device"],
+            chunk_bytes=payload["chunk_bytes"],
+            m_peak_bytes=payload["m_peak_bytes"],
+            schedules=schedules,
+            stats=PlanStats(**payload["stats"]),
+        )

@@ -1,0 +1,172 @@
+"""OPG problem construction (paper §3.1).
+
+Turns (lowered graph, capacity model, configuration) into the quantities the
+solver schedules over:
+
+- per-weight: size, chunk count T(w), first-consuming layer i_w, and the
+  candidate transforming layers L(w);
+- per-layer: load capacity C_l in chunks and the transform-volume bound
+  M_peak (constraint C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.capacity.model import LoadCapacityModel
+from repro.graph.dag import Graph
+
+
+@dataclass(frozen=True)
+class OpgConfig:
+    """Hyperparameters of the OPG formulation (paper Table 2 + §3.2).
+
+    Attributes:
+        chunk_bytes: uniform chunk size S.
+        m_peak_bytes: per-layer transform-volume bound M_peak.  The paper's
+            memory-priority default is 500 MB with lambda ~= 0.9.
+        lam: λ — weight of the preload term in the objective.
+        mu: μ — distance penalty used by the fusion penalty score.
+        alpha: α — capacity gain threshold for splitting fused operators.
+        lookback: how many layers before i_w may host a weight's transforms
+            (bounds L(w), keeping the CP model tractable).
+        long_lookback: extended horizon used by the greedy rescue pass for
+            weights too large for the CP window (e.g. LM heads); trades
+            longer residency for avoiding a full preload.
+        window_layers: rolling-window size for incremental scheduling.
+        time_limit_s: total solver wall-clock budget for the model
+            (paper uses 150 s on a workstation).
+        soft_threshold_factor: C4 soft-thresholding multiplier on C_l.
+        max_soft_rounds: soft-threshold retries before incremental preload.
+        preload_hint_weights: weights forced into W by name (paper §5.4:
+            "weights can also be explicitly specified by directly adding
+            their names to the preload list").
+    """
+
+    chunk_bytes: int = 512 * 1024
+    m_peak_bytes: int = 500 * 1024 * 1024
+    lam: float = 0.9
+    mu: float = 0.1
+    alpha: float = 0.25
+    lookback: int = 16
+    long_lookback: int = 160
+    window_layers: int = 48
+    time_limit_s: float = 20.0
+    soft_threshold_factor: float = 1.3
+    max_soft_rounds: int = 2
+    #: Branch-and-bound node budget per window (bounds worst-case runtime
+    #: alongside the wall-clock limit, as CP-SAT's deterministic limit does).
+    max_nodes_per_window: int = 20_000
+    #: Window sizes (in weights) the exact optimality prover attempts after
+    #: a FEASIBLE CP incumbent (0 disables the prover).
+    prover_max_weights: int = 48
+    #: Prover only engages when the incumbent is within this distance of
+    #: the solo lower bound (wider gaps are combinatorial).
+    prover_max_gap: int = 8
+    preload_hint_weights: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError("lam must be in [0, 1]")
+        if self.lookback < 1 or self.window_layers < 2:
+            raise ValueError("lookback >= 1 and window_layers >= 2 required")
+
+
+@dataclass
+class WeightInfo:
+    """Solver view of one weight."""
+
+    name: str
+    nbytes: int
+    consumer_layer: int  # i_w, 0-based
+    total_chunks: int    # T(w)
+    candidates: List[int] = field(default_factory=list)  # L(w)
+    #: Convolution weights: streamed from disk on demand, but their Winograd
+    #: layout transformation cannot be embedded in other kernels (paper
+    #: §5.2/§5.4) — it runs as a dedicated kernel at the consumer.
+    dedicated_transform: bool = False
+
+    @property
+    def forced_preload(self) -> bool:
+        """True when no earlier layer can host any transform (e.g. the first
+        layers' weights — the paper notes these must be in W)."""
+        return not self.candidates and not self.dedicated_transform
+
+
+@dataclass
+class OpgProblem:
+    """Fully-materialised OPG instance."""
+
+    model: str
+    config: OpgConfig
+    weights: List[WeightInfo]
+    #: C_l per layer, in chunks (0 for layers that cannot host loads).
+    layer_capacity: List[int]
+    #: M_peak per layer, in chunks (uniform; kept per-layer for adaptivity).
+    layer_m_peak: List[int]
+    num_layers: int
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(w.total_chunks for w in self.weights)
+
+    @property
+    def streamable_weights(self) -> List[WeightInfo]:
+        return [w for w in self.weights if not w.forced_preload]
+
+    def weights_by_consumer(self) -> Dict[int, List[WeightInfo]]:
+        out: Dict[int, List[WeightInfo]] = {}
+        for w in self.weights:
+            out.setdefault(w.consumer_layer, []).append(w)
+        return out
+
+
+def build_problem(
+    graph: Graph,
+    capacity_model: LoadCapacityModel,
+    config: Optional[OpgConfig] = None,
+) -> OpgProblem:
+    """Materialise the OPG instance for ``graph``.
+
+    Candidate sets L(w) are the layers in ``[i_w - lookback, i_w)`` with
+    non-zero capacity; weights whose candidate set is empty (or that the
+    user pinned via ``preload_hint_weights``) are forced into W.
+    """
+    config = config or OpgConfig()
+    graph.freeze()
+    nodes = graph.nodes()
+    capacity = [capacity_model.capacity_chunks(n.spec, config.chunk_bytes) for n in nodes]
+    m_peak_chunks = max(0, config.m_peak_bytes // config.chunk_bytes)
+    from repro.graph.ops import OpKind
+
+    weights: List[WeightInfo] = []
+    for w, node in graph.weights():
+        i_w = node.index
+        total_chunks = w.chunk_count(config.chunk_bytes)
+        dedicated = node.kind in (OpKind.CONV2D, OpKind.DEPTHWISE_CONV2D) and i_w > 0
+        if w.name in config.preload_hint_weights or dedicated:
+            candidates: List[int] = []
+        else:
+            lo = max(0, i_w - config.lookback)
+            candidates = [l for l in range(lo, i_w) if capacity[l] > 0]
+        weights.append(
+            WeightInfo(
+                name=w.name,
+                nbytes=w.nbytes,
+                consumer_layer=i_w,
+                total_chunks=total_chunks,
+                candidates=candidates,
+                dedicated_transform=dedicated,
+            )
+        )
+    return OpgProblem(
+        model=graph.name,
+        config=config,
+        weights=weights,
+        layer_capacity=capacity,
+        layer_m_peak=[m_peak_chunks] * len(nodes),
+        num_layers=len(nodes),
+    )

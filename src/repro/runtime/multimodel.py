@@ -1,0 +1,101 @@
+"""Multi-model FIFO pipeline (paper §2.2, Figure 6).
+
+Runs a sequence of distinct models back-to-back on one device, stitching the
+per-run memory timelines into a single session timeline.  Under a preloading
+runtime every invocation pays a cold-start init (repeated memory spikes);
+under FlashMem every invocation streams against its overlap plan, so the
+session's peak stays bounded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.gpusim.timeline import MemoryTimeline, RunResult
+
+
+@dataclass
+class PipelineInvocation:
+    """One model run inside the session."""
+
+    model: str
+    start_ms: float
+    end_ms: float
+    peak_memory_bytes: int
+    oom: bool
+
+    @property
+    def latency_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class PipelineResult:
+    """Stitched outcome of a FIFO multi-model session."""
+
+    runtime: str
+    device: str
+    invocations: List[PipelineInvocation] = field(default_factory=list)
+    memory: MemoryTimeline = field(default_factory=MemoryTimeline)
+    energy_j: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.invocations[-1].end_ms if self.invocations else 0.0
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self.memory.peak_bytes
+
+    @property
+    def avg_memory_bytes(self) -> float:
+        return self.memory.average_bytes(0.0, self.total_ms)
+
+    def latency_of(self, model: str) -> List[float]:
+        return [inv.latency_ms for inv in self.invocations if inv.model == model]
+
+
+def fifo_schedule(models: Sequence[str], iterations: int, *, seed: int = 0) -> List[str]:
+    """The paper's Figure 6 workload: each model ``iterations`` times, in a
+    seeded random interleaving."""
+    sequence = [m for m in models for _ in range(iterations)]
+    random.Random(seed).shuffle(sequence)
+    return sequence
+
+
+class FifoPipeline:
+    """FIFO multi-DNN scheduler over a single-run executor.
+
+    ``run_model`` maps a model name to a fresh :class:`RunResult` (cold
+    start for preloaders, streamed for FlashMem) — the pipeline offsets each
+    run onto the session clock and merges the memory timelines.
+    """
+
+    def __init__(self, runtime: str, device: str, run_model: Callable[[str], RunResult]) -> None:
+        self.runtime = runtime
+        self.device = device
+        self.run_model = run_model
+
+    def run(self, sequence: Sequence[str]) -> PipelineResult:
+        result = PipelineResult(runtime=self.runtime, device=self.device)
+        clock = 0.0
+        for model in sequence:
+            run = self.run_model(model)
+            for t, v in run.memory.samples:
+                result.memory.record(clock + t, v)
+            end = clock + run.latency_ms
+            result.invocations.append(
+                PipelineInvocation(
+                    model=model,
+                    start_ms=clock,
+                    end_ms=end,
+                    peak_memory_bytes=run.peak_memory_bytes,
+                    oom=bool(run.details.get("oom")),
+                )
+            )
+            result.energy_j += run.energy_j
+            result.memory.record(end, 0)
+            clock = end
+        return result

@@ -1,0 +1,90 @@
+"""Tests for operator classification, thresholds, and feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.capacity.classify import (
+    CLASS_THRESHOLDS,
+    TABLE5_ROWS,
+    can_host_loads,
+    threshold_for,
+    threshold_for_kind,
+)
+from repro.capacity.features import (
+    FEATURE_NAMES,
+    featurize,
+    featurize_batch,
+    global_work_size,
+    local_work_size,
+)
+from repro.graph.ops import OpClass, OpKind, elementwise_spec, matmul_spec, softmax_spec
+
+
+class TestThresholds:
+    def test_paper_values(self):
+        assert CLASS_THRESHOLDS[OpClass.ELEMENTAL] == 3.00
+        assert CLASS_THRESHOLDS[OpClass.REUSABLE] == 0.20
+        assert CLASS_THRESHOLDS[OpClass.HIERARCHICAL] == 0.00
+
+    def test_threshold_for_spec(self):
+        assert threshold_for(matmul_spec("m", 4, 4, 4)) == 0.20
+        assert threshold_for(softmax_spec("s", (4, 4))) == 0.0
+
+    def test_threshold_for_kind(self):
+        assert threshold_for_kind(OpKind.GELU) == 3.00
+        assert threshold_for_kind(OpKind.CONV2D) == 0.20
+
+    def test_can_host_loads(self):
+        assert can_host_loads(matmul_spec("m", 4, 4, 4))
+        assert can_host_loads(elementwise_spec("e", OpKind.ADD, (4,)))
+        assert not can_host_loads(softmax_spec("s", (4, 4)))
+
+    def test_table5_covers_three_classes(self):
+        assert {r.op_class for r in TABLE5_ROWS} == {
+            OpClass.ELEMENTAL, OpClass.REUSABLE, OpClass.HIERARCHICAL,
+        }
+
+
+class TestFeatures:
+    def test_vector_length_matches_names(self):
+        vec = featurize(matmul_spec("m", 8, 8, 8))
+        assert len(vec) == len(FEATURE_NAMES)
+
+    def test_class_onehot(self):
+        mm = featurize(matmul_spec("m", 8, 8, 8))
+        sm = featurize(softmax_spec("s", (8, 8)))
+        add = featurize(elementwise_spec("a", OpKind.ADD, (8, 8)))
+        onehot = lambda v: tuple(v[6:9])
+        assert onehot(mm) == (0.0, 1.0, 0.0)
+        assert onehot(sm) == (0.0, 0.0, 1.0)
+        assert onehot(add) == (1.0, 0.0, 0.0)
+
+    def test_extra_bytes_features_monotone(self):
+        op = matmul_spec("m", 64, 64, 64)
+        small = featurize(op, 1000)
+        large = featurize(op, 1_000_000)
+        assert large[9] > small[9]   # log extra bytes
+        assert large[10] > small[10]  # extra ratio
+
+    def test_no_nan_or_inf(self):
+        op = matmul_spec("m", 1, 1, 1)
+        vec = featurize(op, 0)
+        assert np.all(np.isfinite(vec))
+
+    def test_gws_scales_with_output(self):
+        small = global_work_size(matmul_spec("m", 8, 8, 8))
+        large = global_work_size(matmul_spec("m", 256, 8, 256))
+        assert large > small
+
+    def test_lws_power_of_two(self):
+        lws = local_work_size(matmul_spec("m", 128, 128, 128))
+        assert lws & (lws - 1) == 0
+
+    def test_batch_stacking(self):
+        ops = [(matmul_spec(f"m{i}", 8, 8, 8), i * 100) for i in range(5)]
+        X = featurize_batch(ops)
+        assert X.shape == (5, len(FEATURE_NAMES))
+
+    def test_empty_batch(self):
+        X = featurize_batch([])
+        assert X.shape == (0, len(FEATURE_NAMES))

@@ -1,0 +1,124 @@
+"""Tests for the plan store and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.capacity.model import analytic_capacity_model
+from repro.cli import main as cli_main
+from repro.core.store import PlanStore, config_fingerprint
+from repro.graph.builder import GraphBuilder
+from repro.gpusim.device import oneplus_12
+from repro.opg.problem import OpgConfig
+
+
+def _model(name="store-test"):
+    b = GraphBuilder(name)
+    b.embedding(16, 500, 128)
+    b.transformer_block(16, 128, 4)
+    return b.finish()
+
+
+FAST = OpgConfig(time_limit_s=0.5, max_nodes_per_window=100, chunk_bytes=8 * 1024)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert config_fingerprint(OpgConfig()) == config_fingerprint(OpgConfig())
+
+    def test_sensitive_to_hyperparameters(self):
+        assert config_fingerprint(OpgConfig()) != config_fingerprint(OpgConfig(lam=0.5))
+        assert config_fingerprint(OpgConfig()) != config_fingerprint(
+            OpgConfig(m_peak_bytes=1 << 20)
+        )
+
+    def test_hint_order_irrelevant(self):
+        a = OpgConfig(preload_hint_weights=frozenset({"x", "y"}))
+        b = OpgConfig(preload_hint_weights=frozenset({"y", "x"}))
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+
+class TestPlanStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = PlanStore(tmp_path)
+        capacity = analytic_capacity_model(oneplus_12())
+        graph = _model()
+        assert store.load(graph.name, "OnePlus 12", FAST) is None
+        plan = store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12")
+        cached = store.load(graph.name, "OnePlus 12", FAST)
+        assert cached is not None
+        assert cached.schedules.keys() == plan.schedules.keys()
+
+    def test_get_or_solve_uses_cache(self, tmp_path):
+        store = PlanStore(tmp_path)
+        capacity = analytic_capacity_model(oneplus_12())
+        graph = _model()
+        first = store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12")
+        again = store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12")
+        # Cache hit: identical serialized artifacts (not just equal plans).
+        assert again.to_json() == first.to_json()
+
+    def test_different_configs_stored_separately(self, tmp_path):
+        store = PlanStore(tmp_path)
+        capacity = analytic_capacity_model(oneplus_12())
+        graph = _model()
+        other = OpgConfig(time_limit_s=0.5, max_nodes_per_window=100, chunk_bytes=16 * 1024)
+        store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12")
+        store.get_or_solve(graph, capacity, other, device_name="OnePlus 12")
+        assert len(store.entries()) == 2
+
+    def test_corrupt_artifact_is_miss(self, tmp_path):
+        store = PlanStore(tmp_path)
+        capacity = analytic_capacity_model(oneplus_12())
+        graph = _model()
+        path = store.save(
+            store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12"), FAST
+        )
+        path.write_text(json.dumps({"nonsense": True}))
+        assert store.load(graph.name, "OnePlus 12", FAST) is None
+
+    def test_weird_names_sanitized(self, tmp_path):
+        store = PlanStore(tmp_path)
+        capacity = analytic_capacity_model(oneplus_12())
+        graph = _model(name="weird/model name!")
+        path = store.save(
+            store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12"), FAST
+        )
+        assert path.exists()
+        assert "/" not in path.name
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "GPTN-S" in out and "OnePlus 12" in out and "table7" in out
+
+    def test_run_with_baseline(self, capsys):
+        code = cli_main(
+            ["run", "ResNet50", "--baseline", "SMem", "--time-limit", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FlashMem:" in out and "SMem:" in out and "Speedup" in out
+
+    def test_run_unsupported_baseline_model(self, capsys):
+        code = cli_main(["run", "ViT", "--baseline", "NCNN", "--time-limit", "1"])
+        assert code == 0
+        assert "not supported" in capsys.readouterr().out
+
+    def test_plan_export(self, tmp_path, capsys):
+        out_file = tmp_path / "plan.json"
+        code = cli_main(["plan", "ResNet50", "--time-limit", "1", "--out", str(out_file)])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["model"] == "ResNet50"
+        assert payload["schedules"]
+
+    def test_experiment_command(self, capsys):
+        assert cli_main(["experiment", "table5"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])

@@ -1,0 +1,91 @@
+"""Tests for the texture cache model (Z-order swizzling, path comparison)."""
+
+import pytest
+
+from repro.gpusim.cache import (
+    AccessPattern,
+    CacheConfig,
+    SetAssociativeCache,
+    _morton,
+    compare_paths,
+)
+
+
+class TestMorton:
+    def test_origin(self):
+        assert _morton(0, 0) == 0
+
+    def test_interleaving(self):
+        assert _morton(1, 0) == 1
+        assert _morton(0, 1) == 2
+        assert _morton(1, 1) == 3
+        assert _morton(2, 0) == 4
+        assert _morton(3, 3) == 15
+
+    def test_bijective_on_grid(self):
+        codes = {_morton(x, y) for x in range(32) for y in range(32)}
+        assert len(codes) == 32 * 32
+
+    def test_locality_both_axes(self):
+        # Neighbours in x AND y stay close in the Z-order code.
+        base = _morton(10, 10)
+        assert abs(_morton(11, 10) - base) <= 3
+        assert abs(_morton(10, 11) - base) <= 3
+
+
+class TestSetAssociativeCache:
+    def test_repeat_hits(self):
+        cache = SetAssociativeCache(CacheConfig())
+        cache.access(0)
+        assert cache.access(0)
+        assert cache.hit_rate == 0.5
+
+    def test_same_line_hits(self):
+        cache = SetAssociativeCache(CacheConfig(line_bytes=64))
+        cache.access(0)
+        assert cache.access(63)
+        assert not cache.access(64)
+
+    def test_lru_eviction(self):
+        config = CacheConfig(size_bytes=256, line_bytes=64, ways=2)  # 2 sets
+        cache = SetAssociativeCache(config)
+        # Three lines mapping to the same set: stride = line * num_sets.
+        stride = config.line_bytes * config.num_sets
+        cache.access(0)
+        cache.access(stride)
+        cache.access(2 * stride)  # evicts line 0 (LRU)
+        assert not cache.access(0)
+
+    def test_capacity_working_set(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=64, ways=4)
+        cache = SetAssociativeCache(config)
+        for _ in range(4):
+            for addr in range(0, 1024, 64):  # fits exactly
+                cache.access(addr)
+        assert cache.hit_rate > 0.7
+
+    def test_empty_hit_rate(self):
+        assert SetAssociativeCache(CacheConfig()).hit_rate == 0.0
+
+
+class TestPathComparison:
+    def test_texture_wins_on_strided_access(self):
+        c = compare_paths(AccessPattern.COLUMN_STRIDED)
+        assert c.texture_hit_rate > c.linear_hit_rate
+        assert c.speedup > 2.0
+
+    def test_speedups_in_romou_range(self):
+        for pattern in AccessPattern:
+            c = compare_paths(pattern)
+            assert 1.0 <= c.speedup <= 6.0
+
+    def test_hit_rates_are_probabilities(self):
+        for pattern in AccessPattern:
+            c = compare_paths(pattern)
+            assert 0.0 <= c.texture_hit_rate <= 1.0
+            assert 0.0 <= c.linear_hit_rate <= 1.0
+
+    def test_bigger_texture_stresses_cache(self):
+        small = compare_paths(AccessPattern.COLUMN_STRIDED, width=64, height=64)
+        large = compare_paths(AccessPattern.COLUMN_STRIDED, width=512, height=512)
+        assert large.texture_hit_rate <= small.texture_hit_rate + 0.05

@@ -1,0 +1,107 @@
+"""Tests for device profiles and memory pools."""
+
+import pytest
+
+from repro.gpusim.device import DEVICE_PRESETS, get_device, oneplus_12, pixel_8, xiaomi_mi6
+from repro.gpusim.memory import MemoryPool, OutOfMemoryError
+
+
+class TestDeviceProfiles:
+    def test_four_presets(self):
+        assert len(DEVICE_PRESETS) == 4
+
+    def test_lookup_by_name(self):
+        assert get_device("OnePlus 12").gpu == "Adreno 750"
+        with pytest.raises(KeyError):
+            get_device("iPhone 27")
+
+    def test_flagship_fastest(self):
+        op12 = oneplus_12()
+        mi6 = xiaomi_mi6()
+        assert op12.fp16_gflops > mi6.fp16_gflops
+        assert op12.disk_bw > mi6.disk_bw
+        assert op12.um_bw > mi6.um_bw
+
+    def test_ram_budget_below_total(self):
+        for dev in DEVICE_PRESETS.values():
+            assert 0 < dev.ram_budget_bytes < dev.ram_bytes
+
+    def test_pixel8_has_less_ram_than_oneplus(self):
+        assert pixel_8().ram_bytes < oneplus_12().ram_bytes
+
+    def test_compute_time_linear_in_flops(self):
+        d = oneplus_12()
+        assert d.compute_time_ms(2_000_000) == pytest.approx(2 * d.compute_time_ms(1_000_000))
+
+    def test_scaled_override(self):
+        d = oneplus_12().scaled(ram_bytes=1024)
+        assert d.ram_bytes == 1024
+        assert d.gpu == "Adreno 750"  # other fields preserved
+
+
+class TestMemoryPool:
+    def test_alloc_free_roundtrip(self):
+        p = MemoryPool("um")
+        p.allocate("w", 100, 0.0)
+        assert p.in_use == 100
+        assert p.free("w", 1.0) == 100
+        assert p.in_use == 0
+
+    def test_peak_tracks_high_water(self):
+        p = MemoryPool("um")
+        p.allocate("a", 100, 0.0)
+        p.allocate("b", 50, 1.0)
+        p.free("a", 2.0)
+        assert p.peak == 150
+        assert p.in_use == 50
+
+    def test_double_alloc_rejected(self):
+        p = MemoryPool("um")
+        p.allocate("a", 10, 0.0)
+        with pytest.raises(ValueError):
+            p.allocate("a", 10, 1.0)
+
+    def test_free_unknown_rejected(self):
+        p = MemoryPool("um")
+        with pytest.raises(ValueError):
+            p.free("ghost", 0.0)
+
+    def test_budget_enforced(self):
+        p = MemoryPool("um", budget_bytes=100)
+        p.allocate("a", 80, 0.0)
+        with pytest.raises(OutOfMemoryError):
+            p.allocate("b", 30, 1.0)
+
+    def test_oom_carries_diagnostics(self):
+        p = MemoryPool("um", budget_bytes=100)
+        p.allocate("a", 80, 0.0)
+        with pytest.raises(OutOfMemoryError) as exc:
+            p.allocate("b", 30, 1.0)
+        assert exc.value.requested == 30
+        assert exc.value.in_use == 80
+        assert exc.value.budget == 100
+
+    def test_free_all(self):
+        p = MemoryPool("um")
+        for i in range(5):
+            p.allocate(f"w{i}", 10, float(i))
+        p.free_all(10.0)
+        assert p.in_use == 0
+        assert not p.live_names()
+
+    def test_average_over_window(self):
+        p = MemoryPool("um")
+        p.allocate("a", 100, 0.0)
+        p.free("a", 5.0)
+        # 100 bytes for 5 ms out of a 10 ms window -> average 50.
+        assert p.average_over(0.0, 10.0) == pytest.approx(50.0)
+
+    def test_average_constant_usage(self):
+        p = MemoryPool("um")
+        p.allocate("a", 64, 0.0)
+        assert p.average_over(1.0, 9.0) == pytest.approx(64.0)
+
+    def test_negative_alloc_rejected(self):
+        p = MemoryPool("um")
+        with pytest.raises(ValueError):
+            p.allocate("a", -1, 0.0)

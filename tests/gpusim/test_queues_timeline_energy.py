@@ -1,0 +1,185 @@
+"""Tests for queues, timeline accounting, the energy model, and Simulation."""
+
+import pytest
+
+from repro.gpusim.device import oneplus_12
+from repro.gpusim.energy import measure_energy
+from repro.gpusim.engine import Simulation
+from repro.gpusim.queues import CommandQueue, DualQueue
+from repro.gpusim.timeline import MemoryTimeline, Phases, geo_mean
+
+
+class TestCommandQueue:
+    def test_serial_ordering(self):
+        q = CommandQueue("gpu")
+        e1 = q.submit("a", 10.0)
+        e2 = q.submit("b", 5.0)
+        assert e1.end_ms == 10.0
+        assert e2.start_ms == 10.0
+        assert q.free_at == 15.0
+
+    def test_not_before_constraint(self):
+        q = CommandQueue("gpu")
+        e = q.submit("a", 5.0, not_before=20.0)
+        assert e.start_ms == 20.0
+
+    def test_negative_duration_rejected(self):
+        q = CommandQueue("gpu")
+        with pytest.raises(ValueError):
+            q.submit("a", -1.0)
+
+    def test_busy_and_idle_time(self):
+        q = CommandQueue("gpu")
+        q.submit("a", 10.0)
+        q.submit("b", 5.0, not_before=20.0)
+        assert q.busy_time_ms() == 15.0
+        assert q.idle_time_ms() == 10.0
+
+    def test_busy_time_by_kind(self):
+        q = CommandQueue("gpu")
+        q.submit("a", 10.0, kind="compute")
+        q.submit("b", 4.0, kind="transform")
+        assert q.busy_time_ms(kind="compute") == 10.0
+        assert q.busy_time_ms(kind="transform") == 4.0
+
+    def test_advance_to(self):
+        q = CommandQueue("gpu")
+        q.advance_to(50.0)
+        assert q.submit("a", 1.0).start_ms == 50.0
+
+
+class TestDualQueue:
+    def test_makespan(self):
+        dq = DualQueue()
+        dq.io.submit("load", 100.0)
+        dq.gpu.submit("kern", 30.0)
+        assert dq.makespan_ms == 100.0
+
+    def test_all_events_sorted(self):
+        dq = DualQueue()
+        dq.gpu.submit("k1", 5.0)
+        dq.io.submit("l1", 2.0)
+        events = dq.all_events()
+        assert [e.start_ms for e in events] == sorted(e.start_ms for e in events)
+
+
+class TestMemoryTimeline:
+    def test_peak(self):
+        t = MemoryTimeline()
+        t.record(1.0, 100)
+        t.record(2.0, 300)
+        t.record(3.0, 50)
+        assert t.peak_bytes == 300
+
+    def test_usage_at(self):
+        t = MemoryTimeline()
+        t.record(1.0, 100)
+        t.record(5.0, 200)
+        assert t.usage_at(0.5) == 0
+        assert t.usage_at(3.0) == 100
+        assert t.usage_at(5.0) == 200
+
+    def test_average_step_function(self):
+        t = MemoryTimeline()
+        t.record(0.0, 100)
+        t.record(5.0, 0)
+        assert t.average_bytes(0.0, 10.0) == pytest.approx(50.0)
+
+    def test_out_of_order_insertion(self):
+        t = MemoryTimeline()
+        t.record(5.0, 100)
+        t.record(2.0, 50)  # late insertion
+        assert t.usage_at(3.0) == 50
+
+    def test_series_resolution(self):
+        t = MemoryTimeline()
+        t.record(0.0, 10)
+        t.record(100.0, 20)
+        series = t.series(resolution_ms=25.0, end_ms=100.0)
+        assert len(series) == 5
+        assert series[0][1] == 10
+
+    def test_negative_memory_rejected(self):
+        t = MemoryTimeline()
+        with pytest.raises(ValueError):
+            t.record(0.0, -5)
+
+
+class TestPhases:
+    def test_init_and_total(self):
+        p = Phases(setup=100, load=200, transform=300, execute=50)
+        assert p.init == 600
+        assert p.total == 650
+
+
+class TestEnergy:
+    def test_overlap_detected(self):
+        dq = DualQueue()
+        dq.io.submit("load", 100.0)
+        dq.gpu.submit("kern", 100.0)
+        report = measure_energy(dq, oneplus_12())
+        assert report.overlap_ms == pytest.approx(100.0)
+        assert report.io_only_ms == 0.0
+
+    def test_serial_phases_no_overlap(self):
+        dq = DualQueue()
+        dq.io.submit("load", 50.0)
+        dq.gpu.submit("kern", 50.0, not_before=50.0)
+        report = measure_energy(dq, oneplus_12())
+        assert report.overlap_ms == 0.0
+        assert report.io_only_ms == pytest.approx(50.0)
+        assert report.compute_only_ms == pytest.approx(50.0)
+
+    def test_energy_scales_with_time(self):
+        d = oneplus_12()
+        short, long_ = DualQueue(), DualQueue()
+        short.gpu.submit("k", 100.0)
+        long_.gpu.submit("k", 1000.0)
+        assert measure_energy(long_, d).energy_j > 5 * measure_energy(short, d).energy_j
+
+    def test_overlap_power_higher_than_compute(self):
+        d = oneplus_12()
+        serial, overlap = DualQueue(), DualQueue()
+        serial.gpu.submit("k", 100.0)
+        overlap.gpu.submit("k", 100.0)
+        overlap.io.submit("l", 100.0)
+        assert (
+            measure_energy(overlap, d).avg_power_w > measure_energy(serial, d).avg_power_w
+        )
+
+    def test_idle_tail_counted(self):
+        dq = DualQueue()
+        dq.gpu.submit("k", 10.0)
+        report = measure_energy(dq, oneplus_12(), end_ms=110.0)
+        assert report.idle_ms == pytest.approx(100.0)
+
+
+class TestSimulation:
+    def test_alloc_roundtrip_and_timeline(self):
+        sim = Simulation(oneplus_12(), model="m", runtime="r")
+        sim.alloc_um("w", 1000, 0.0)
+        sim.alloc_tm("w.tex", 1200, 1.0)
+        assert sim.total_in_use == 2200
+        sim.free_um("w", 2.0)
+        assert sim.total_in_use == 1200
+        assert sim.build_timeline().peak_bytes == 2200
+
+    def test_oom_flag_set(self):
+        dev = oneplus_12().scaled(ram_bytes=1000)
+        sim = Simulation(dev, model="m", runtime="r")
+        sim.alloc_um("big", 10_000, 0.0)
+        assert sim.oom is not None
+
+    def test_finish_builds_result(self):
+        sim = Simulation(oneplus_12(), model="m", runtime="r")
+        sim.queues.gpu.submit("k", 42.0)
+        sim.alloc_um("w", 500, 0.0)
+        result = sim.finish(details={"x": 1.0})
+        assert result.latency_ms == 42.0
+        assert result.model == "m"
+        assert result.details["x"] == 1.0
+        assert result.energy_j > 0
+
+    def test_geo_mean(self):
+        assert geo_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geo_mean([]) == 0.0

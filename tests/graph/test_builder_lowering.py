@@ -1,0 +1,150 @@
+"""Tests for GraphBuilder blocks and the layout-elimination pass."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.lowering import eliminate_layout_ops, layout_op_count
+from repro.graph.ops import OpClass, OpKind
+
+
+class TestBuilderPrimitives:
+    def test_linear_fine_splits_bias(self):
+        b = GraphBuilder("g", fine=True)
+        b.embedding(4, 10, 8)
+        b.linear(4, 8, 8)
+        g = b.finish()
+        kinds = [n.kind for n in g.nodes()]
+        assert OpKind.MATMUL in kinds and OpKind.ADD in kinds
+
+    def test_linear_coarse_folds_bias(self):
+        b = GraphBuilder("g", fine=False)
+        b.embedding(4, 10, 8)
+        b.linear(4, 8, 8)
+        g = b.finish()
+        mm = [n for n in g.nodes() if n.kind is OpKind.MATMUL][0]
+        assert len(mm.weights) == 2  # weight + bias folded in
+
+    def test_linear_tied_has_no_weights(self):
+        b = GraphBuilder("g")
+        b.embedding(4, 10, 8)
+        node = b.linear_tied(4, 8, 100)
+        assert not node.weights
+        assert node.flops == 2 * 4 * 8 * 100
+
+    def test_bias_add_carries_weight(self):
+        b = GraphBuilder("g")
+        b.embedding(4, 10, 8)
+        node = b.bias_add((4, 8), 8)
+        assert len(node.weights) == 1
+        assert node.weights[0].tensor.shape == (8,)
+
+    def test_conv_wiring(self):
+        b = GraphBuilder("g")
+        b.embedding(4, 4, 4)
+        node = b.conv(16, 16, 4, 8, 3)
+        assert node.kind is OpKind.CONV2D
+        assert node.inputs  # wired to cursor
+
+    def test_unique_names(self):
+        b = GraphBuilder("g")
+        b.embedding(4, 4, 4)
+        for _ in range(20):
+            b.activation((4, 4))
+        g = b.finish()
+        names = [n.name for n in g.nodes()]
+        assert len(names) == len(set(names))
+
+
+class TestBuilderBlocks:
+    def _transformer(self, fine=True):
+        b = GraphBuilder("t", fine=fine)
+        b.embedding(16, 100, 32)
+        b.transformer_block(16, 32, 4)
+        return b.finish()
+
+    def test_transformer_block_structure(self):
+        g = self._transformer()
+        kinds = {n.kind for n in g.nodes()}
+        assert OpKind.SOFTMAX in kinds
+        assert OpKind.LAYERNORM in kinds
+        assert OpKind.ATTENTION_SCORE in kinds
+        assert OpKind.GELU in kinds
+
+    def test_fine_has_more_nodes_than_coarse(self):
+        assert len(self._transformer(True)) > len(self._transformer(False))
+
+    def test_attention_requires_cursor(self):
+        b = GraphBuilder("t")
+        with pytest.raises(ValueError):
+            b.attention_block(16, 32, 4)
+
+    def test_attention_rejects_bad_heads(self):
+        b = GraphBuilder("t")
+        b.embedding(16, 100, 32)
+        with pytest.raises(ValueError):
+            b.attention_block(16, 30, 4)
+
+    def test_residual_wiring_in_mlp(self):
+        b = GraphBuilder("t")
+        b.embedding(16, 100, 32)
+        entry = b.cursor
+        out = b.mlp_block(16, 32, 64)
+        # Final add consumes both the entry and the fc2 output.
+        assert entry in out.inputs
+
+    def test_resnet_bottleneck_projection_shortcut(self):
+        b = GraphBuilder("r")
+        b.embedding(4, 4, 4)
+        b.conv(16, 16, 4, 64, 1)
+        b.resnet_bottleneck(16, 16, 64, 32, 128, stride=2)
+        g = b.finish()
+        convs = [n for n in g.nodes() if n.kind is OpKind.CONV2D]
+        # 1x1 + 3x3 + 1x1 + projection shortcut + the stem conv
+        assert len(convs) == 5
+
+
+class TestLayoutElimination:
+    def _graph_with_layouts(self):
+        b = GraphBuilder("g")
+        b.embedding(16, 100, 32)
+        b.transformer_block(16, 32, 4)
+        return b.finish()
+
+    def test_counts_layout_ops(self):
+        g = self._graph_with_layouts()
+        assert layout_op_count(g) > 0
+
+    def test_elimination_removes_all(self):
+        g = eliminate_layout_ops(self._graph_with_layouts())
+        assert layout_op_count(g) == 0
+
+    def test_elimination_preserves_compute(self):
+        g0 = self._graph_with_layouts()
+        g1 = eliminate_layout_ops(g0)
+        assert g1.total_flops == g0.total_flops
+        assert g1.total_params == g0.total_params
+
+    def test_elimination_preserves_connectivity(self):
+        g = eliminate_layout_ops(self._graph_with_layouts())
+        # Every non-source node still has inputs.
+        for node in g.nodes():
+            if node.kind is not OpKind.EMBEDDING and node.index > 0:
+                assert node.inputs, f"{node.name} lost its inputs"
+
+    def test_elimination_keeps_topological_order(self):
+        g = eliminate_layout_ops(self._graph_with_layouts())
+        for node in g.nodes():
+            for parent in node.inputs:
+                assert parent.index < node.index
+
+    def test_no_layout_graph_unchanged(self):
+        b = GraphBuilder("plain")
+        b.embedding(4, 4, 4)
+        b.linear(4, 4, 4)
+        g = b.finish()
+        g2 = eliminate_layout_ops(g)
+        assert len(g2) == len(g)
+
+    def test_layout_class_absent_after_pass(self):
+        g = eliminate_layout_ops(self._graph_with_layouts())
+        assert all(n.op_class is not OpClass.LAYOUT for n in g.nodes())

@@ -1,0 +1,180 @@
+"""Unit tests for the operator IR (repro.graph.ops)."""
+
+import math
+
+import pytest
+
+from repro.graph.ops import (
+    OP_CLASS,
+    OpClass,
+    OpKind,
+    OpSpec,
+    TensorSpec,
+    WeightSpec,
+    conv2d_spec,
+    elementwise_spec,
+    layout_spec,
+    matmul_spec,
+    normalization_spec,
+    op_class,
+    softmax_spec,
+)
+
+
+class TestTensorSpec:
+    def test_numel_and_nbytes(self):
+        t = TensorSpec((4, 8, 2), dtype_bytes=2)
+        assert t.numel == 64
+        assert t.nbytes == 128
+
+    def test_fp32_nbytes(self):
+        assert TensorSpec((10,), dtype_bytes=4).nbytes == 40
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            TensorSpec(())
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, 0))
+
+    def test_rejects_weird_dtype(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4,), dtype_bytes=3)
+
+    def test_is_hashable_and_frozen(self):
+        t = TensorSpec((2, 2))
+        assert hash(t) == hash(TensorSpec((2, 2)))
+        with pytest.raises(Exception):
+            t.shape = (3,)  # type: ignore[misc]
+
+
+class TestWeightSpec:
+    def test_chunk_count_rounds_up(self):
+        w = WeightSpec("w", TensorSpec((1000,), dtype_bytes=2))  # 2000 bytes
+        assert w.chunk_count(512) == 4
+        assert w.chunk_count(2000) == 1
+        assert w.chunk_count(4000) == 1  # at least one chunk
+
+    def test_chunk_count_rejects_nonpositive(self):
+        w = WeightSpec("w", TensorSpec((4,)))
+        with pytest.raises(ValueError):
+            w.chunk_count(0)
+
+    def test_nbytes(self):
+        w = WeightSpec("w", TensorSpec((3, 3), dtype_bytes=4))
+        assert w.nbytes == 36
+        assert w.numel == 9
+
+
+class TestOpClassification:
+    def test_every_kind_classified(self):
+        for kind in OpKind:
+            assert kind in OP_CLASS
+
+    def test_reusable_ops(self):
+        for k in (OpKind.MATMUL, OpKind.CONV2D, OpKind.ATTENTION_SCORE):
+            assert op_class(k) is OpClass.REUSABLE
+
+    def test_hierarchical_ops(self):
+        for k in (OpKind.SOFTMAX, OpKind.LAYERNORM, OpKind.GROUPNORM, OpKind.BATCHNORM):
+            assert op_class(k) is OpClass.HIERARCHICAL
+
+    def test_elemental_ops(self):
+        for k in (OpKind.ADD, OpKind.MUL, OpKind.ACTIVATION, OpKind.GELU):
+            assert op_class(k) is OpClass.ELEMENTAL
+
+    def test_layout_ops(self):
+        for k in (OpKind.RESHAPE, OpKind.TRANSPOSE, OpKind.CONCAT, OpKind.SLICE):
+            assert op_class(k) is OpClass.LAYOUT
+
+
+class TestMatmulSpec:
+    def test_flops(self):
+        op = matmul_spec("mm", 8, 16, 32)
+        assert op.flops == 2 * 8 * 16 * 32
+        assert op.macs == 8 * 16 * 32
+
+    def test_weight_shape_and_bytes(self):
+        op = matmul_spec("mm", 8, 16, 32)
+        assert op.weights[0].tensor.shape == (16, 32)
+        assert op.weight_bytes == 16 * 32 * 2
+
+    def test_bias_adds_weight(self):
+        op = matmul_spec("mm", 8, 16, 32, bias=True)
+        assert len(op.weights) == 2
+        assert op.weights[1].tensor.shape == (32,)
+
+    def test_custom_weight_name(self):
+        op = matmul_spec("mm", 2, 2, 2, weight_name="shared.w")
+        assert op.weights[0].name == "shared.w"
+
+    def test_bytes_moved_includes_everything(self):
+        op = matmul_spec("mm", 8, 16, 32, bias=False)
+        expected = (8 * 16 + 8 * 32 + 16 * 32) * 2
+        assert op.bytes_moved == expected
+
+    def test_arithmetic_intensity_positive(self):
+        op = matmul_spec("mm", 128, 1024, 1024)
+        assert op.arithmetic_intensity > 10  # decidedly compute-heavy
+
+
+class TestConvSpec:
+    def test_standard_conv_flops(self):
+        op = conv2d_spec("c", 32, 32, 16, 64, 3, bias=False)
+        assert op.flops == 2 * 32 * 32 * 64 * 16 * 9
+        assert op.weights[0].tensor.shape == (64, 16, 3, 3)
+
+    def test_stride_shrinks_output(self):
+        op = conv2d_spec("c", 32, 32, 16, 64, 3, stride=2)
+        assert op.output_spec.shape == (64, 16, 16)
+
+    def test_depthwise_requires_matching_channels(self):
+        with pytest.raises(ValueError):
+            conv2d_spec("c", 8, 8, 4, 8, 3, depthwise=True)
+
+    def test_depthwise_flops_smaller(self):
+        dw = conv2d_spec("dw", 16, 16, 32, 32, 3, depthwise=True, bias=False)
+        full = conv2d_spec("f", 16, 16, 32, 32, 3, bias=False)
+        assert dw.flops * 31 < full.flops
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            conv2d_spec("c", 8, 8, 4, 4, 0)
+
+
+class TestHelperSpecs:
+    def test_elementwise_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            elementwise_spec("x", OpKind.SOFTMAX, (4,))
+
+    def test_elementwise_n_inputs(self):
+        op = elementwise_spec("x", OpKind.ADD, (4, 4), n_inputs=2)
+        assert len(op.input_specs) == 2
+
+    def test_normalization_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            normalization_spec("x", OpKind.ADD, (4,))
+
+    def test_normalization_carries_scale_shift(self):
+        op = normalization_spec("ln", OpKind.LAYERNORM, (16, 64))
+        assert {w.tensor.shape for w in op.weights} == {(64,)}
+        assert len(op.weights) == 2
+
+    def test_softmax_no_weights(self):
+        op = softmax_spec("s", (8, 8))
+        assert not op.weights
+        assert op.op_class is OpClass.HIERARCHICAL
+
+    def test_layout_zero_flops(self):
+        op = layout_spec("r", OpKind.RESHAPE, (4, 4), (16,))
+        assert op.flops == 0
+        assert op.op_class is OpClass.LAYOUT
+
+    def test_layout_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            layout_spec("r", OpKind.ADD, (4,), (4,))
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            OpSpec(OpKind.ADD, "bad", -1, [TensorSpec((1,))], TensorSpec((1,)))

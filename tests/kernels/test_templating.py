@@ -1,0 +1,88 @@
+"""Tests for the minimal template engine (Jinja substitute)."""
+
+import pytest
+
+from repro.kernels.templating import Template, TemplateError
+
+
+class TestSubstitution:
+    def test_simple_variable(self):
+        assert Template("hello {{ name }}").render(name="world") == "hello world"
+
+    def test_dotted_lookup_dict_and_attr(self):
+        class Obj:
+            field = 7
+
+        t = Template("{{ a.b }} {{ o.field }}")
+        assert t.render(a={"b": 3}, o=Obj()) == "3 7"
+
+    def test_int_literal(self):
+        assert Template("{{ 42 }}").render() == "42"
+
+    def test_string_literal(self):
+        assert Template("{{ 'hi' }}").render() == "hi"
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{{ missing }}").render()
+
+    def test_bad_attribute_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{{ a.nope }}").render(a={"b": 1})
+
+
+class TestForLoops:
+    def test_iterates(self):
+        t = Template("{% for x in xs %}[{{ x }}]{% endfor %}")
+        assert t.render(xs=[1, 2, 3]) == "[1][2][3]"
+
+    def test_loop_metadata(self):
+        t = Template("{% for x in xs %}{{ loop.index0 }}:{{ x }};{% endfor %}")
+        assert t.render(xs=["a", "b"]) == "0:a;1:b;"
+
+    def test_nested_loops(self):
+        t = Template("{% for r in rows %}{% for c in r %}{{ c }}{% endfor %}|{% endfor %}")
+        assert t.render(rows=[[1, 2], [3]]) == "12|3|"
+
+    def test_scoping_restored(self):
+        t = Template("{% for x in xs %}{{ x }}{% endfor %}{{ x }}")
+        assert t.render(xs=[1], x="outer") == "1outer"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{% for x in xs %}{{ x }}")
+
+
+class TestConditionals:
+    def test_if_true_false(self):
+        t = Template("{% if flag %}yes{% else %}no{% endif %}")
+        assert t.render(flag=True) == "yes"
+        assert t.render(flag=False) == "no"
+
+    def test_elif_chain(self):
+        t = Template("{% if a %}A{% elif b %}B{% else %}C{% endif %}")
+        assert t.render(a=False, b=True) == "B"
+        assert t.render(a=False, b=False) == "C"
+
+    def test_not_operator(self):
+        t = Template("{% if not flag %}off{% endif %}")
+        assert t.render(flag=False) == "off"
+        assert t.render(flag=True) == ""
+
+    def test_equality_comparison(self):
+        t = Template("{% if mode == 'fast' %}F{% endif %}")
+        assert t.render(mode="fast") == "F"
+        assert t.render(mode="slow") == ""
+
+    def test_inequality_with_literal(self):
+        t = Template("{% if n != 0 %}nonzero{% endif %}")
+        assert t.render(n=3) == "nonzero"
+        assert t.render(n=0) == ""
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{% macro x %}{% endmacro %}")
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{% if a %}x")

@@ -1,0 +1,171 @@
+"""Tests for OPG problem construction and the greedy heuristics."""
+
+import pytest
+
+from repro.capacity.model import analytic_capacity_model
+from repro.graph.builder import GraphBuilder
+from repro.gpusim.device import oneplus_12
+from repro.opg.heuristics import Budgets, greedy_assign, greedy_schedule
+from repro.opg.problem import OpgConfig, WeightInfo, build_problem
+
+
+@pytest.fixture(scope="module")
+def capacity():
+    return analytic_capacity_model(oneplus_12())
+
+
+def _mlp_graph(blocks=3, dim=128):
+    b = GraphBuilder("mlp")
+    b.embedding(16, 100, dim)
+    for _ in range(blocks):
+        b.mlp_block(16, dim, dim * 4)
+    return b.finish()
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = OpgConfig()
+        assert cfg.m_peak_bytes == 500 * 1024 * 1024
+        assert cfg.lam == 0.9
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            OpgConfig(chunk_bytes=0)
+        with pytest.raises(ValueError):
+            OpgConfig(lam=1.5)
+        with pytest.raises(ValueError):
+            OpgConfig(lookback=0)
+
+
+class TestBuildProblem:
+    def test_every_weight_represented(self, capacity):
+        g = _mlp_graph()
+        problem = build_problem(g, capacity)
+        assert len(problem.weights) == len(g.weights())
+
+    def test_first_layer_weights_forced_preload(self, capacity):
+        g = _mlp_graph()
+        problem = build_problem(g, capacity)
+        first = [w for w in problem.weights if w.consumer_layer == 0]
+        assert first and all(w.forced_preload for w in first)
+
+    def test_candidates_within_lookback(self, capacity):
+        g = _mlp_graph()
+        cfg = OpgConfig(lookback=4)
+        problem = build_problem(g, capacity, cfg)
+        for w in problem.weights:
+            for l in w.candidates:
+                assert w.consumer_layer - 4 <= l < w.consumer_layer
+
+    def test_candidates_have_capacity(self, capacity):
+        g = _mlp_graph()
+        problem = build_problem(g, capacity)
+        for w in problem.weights:
+            for l in w.candidates:
+                assert problem.layer_capacity[l] > 0
+
+    def test_preload_hint_forces_w(self, capacity):
+        g = _mlp_graph()
+        names = [w.name for w, _ in g.weights()]
+        target = names[-1]
+        problem = build_problem(g, capacity, OpgConfig(preload_hint_weights=frozenset({target})))
+        info = next(w for w in problem.weights if w.name == target)
+        assert info.forced_preload
+
+    def test_conv_weights_marked_dedicated(self, capacity):
+        b = GraphBuilder("conv")
+        b.embedding(4, 4, 4)
+        b.conv(16, 16, 4, 8, 3)
+        b.conv(16, 16, 8, 8, 3)
+        problem = build_problem(b.finish(), capacity)
+        dedicated = [w for w in problem.weights if w.dedicated_transform]
+        assert dedicated
+        assert all(not w.forced_preload for w in dedicated)
+
+    def test_chunk_counts_cover_bytes(self, capacity):
+        g = _mlp_graph()
+        cfg = OpgConfig(chunk_bytes=4096)
+        problem = build_problem(g, capacity, cfg)
+        for w in problem.weights:
+            assert w.total_chunks * cfg.chunk_bytes >= w.nbytes
+
+
+class TestBudgets:
+    def test_available_is_min_of_caps(self):
+        b = Budgets([5, 3], [4, 10])
+        assert b.available(0) == 4
+        assert b.available(1) == 3
+
+    def test_consume_and_release(self):
+        b = Budgets([5], [10])
+        b.consume(0, 3)
+        assert b.available(0) == 2
+        b.release(0, 3)
+        assert b.available(0) == 5
+
+    def test_overconsume_rejected(self):
+        b = Budgets([2], [10])
+        with pytest.raises(ValueError):
+            b.consume(0, 3)
+
+    def test_soft_scaling_quota(self):
+        b = Budgets([10], [100], max_soft_rounds=2)
+        assert b.scale_capacity(1.5)
+        assert b.scale_capacity(1.5)
+        assert not b.scale_capacity(1.5)  # quota exhausted
+        assert b.capacity[0] == 22  # 10 -> 15 -> 22
+
+
+class TestGreedy:
+    def _weight(self, chunks, consumer=10, candidates=None):
+        return WeightInfo(
+            name="w",
+            nbytes=chunks * 100,
+            consumer_layer=consumer,
+            total_chunks=chunks,
+            candidates=candidates if candidates is not None else list(range(5, 10)),
+        )
+
+    def test_latest_first_packing(self):
+        w = self._weight(3)
+        budgets = Budgets([10] * 10, [10] * 10)
+        assignment = greedy_assign(w, budgets)
+        assert assignment == {9: 3}
+
+    def test_spills_backward_when_capacity_tight(self):
+        w = self._weight(5)
+        budgets = Budgets([2] * 10, [10] * 10)
+        assignment = greedy_assign(w, budgets)
+        assert assignment == {9: 2, 8: 2, 7: 1}
+
+    def test_returns_none_when_unfittable(self):
+        w = self._weight(50)
+        budgets = Budgets([2] * 10, [10] * 10)
+        assert greedy_assign(w, budgets) is None
+
+    def test_probe_mode_leaves_budgets_untouched(self):
+        w = self._weight(3)
+        budgets = Budgets([10] * 10, [10] * 10)
+        greedy_assign(w, budgets, commit=False)
+        assert budgets.available(9) == 10
+
+    def test_respects_m_peak(self):
+        w = self._weight(5)
+        budgets = Budgets([10] * 10, [1] * 10)
+        assignment = greedy_assign(w, budgets)
+        assert assignment == {9: 1, 8: 1, 7: 1, 6: 1, 5: 1}
+
+    def test_schedule_improvement_pass(self, capacity):
+        g = _mlp_graph()
+        problem = build_problem(g, capacity)
+        budgets = Budgets(problem.layer_capacity, problem.layer_m_peak)
+        schedule = greedy_schedule(problem, problem.streamable_weights, budgets)
+        placed = [a for a in schedule.values() if a]
+        assert placed
+        # Every committed placement respects the original capacities.
+        used = {}
+        for a in placed:
+            for l, c in a.items():
+                used[l] = used.get(l, 0) + c
+        for l, c in used.items():
+            assert c <= min(problem.layer_capacity[l], problem.layer_m_peak[l])

@@ -1,0 +1,92 @@
+"""Tests for the framework profiles and their Table 7 support matrix."""
+
+import pytest
+
+from repro.graph.models import EVALUATED_MODELS
+from repro.runtime.frameworks import (
+    BASELINE_ORDER,
+    EXECUTORCH,
+    FRAMEWORK_PROFILES,
+    LITERT,
+    MNN,
+    NCNN,
+    SMARTMEM,
+    TVM,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_six_baselines_in_paper_order(self):
+        assert BASELINE_ORDER == ["MNN", "NCNN", "TVM", "LiteRT", "ETorch", "SMem"]
+        assert set(FRAMEWORK_PROFILES) == set(BASELINE_ORDER)
+
+    def test_lookup(self):
+        assert get_profile("MNN") is MNN
+        with pytest.raises(KeyError):
+            get_profile("ONNXRuntime")
+
+
+class TestSupportMatrix:
+    """Mirrors Table 7's '-' entries exactly."""
+
+    def test_nobody_supports_gptn_2_7b(self):
+        for profile in FRAMEWORK_PROFILES.values():
+            assert not profile.supports("GPTN-2.7B")
+
+    def test_smartmem_supports_everything_else(self):
+        for model in EVALUATED_MODELS:
+            if model != "GPTN-2.7B":
+                assert SMARTMEM.supports(model)
+
+    def test_ncnn_conv_only(self):
+        assert NCNN.supports("ResNet50")
+        for model in ("ViT", "GPTN-S", "Whisp-M", "SAM-2"):
+            assert not NCNN.supports(model)
+
+    def test_litert_matrix(self):
+        assert LITERT.supports("ViT") and LITERT.supports("DeepViT")
+        assert not LITERT.supports("GPTN-S")
+        assert not LITERT.supports("SD-UNet")
+
+    def test_etorch_matrix(self):
+        assert EXECUTORCH.supports("GPTN-1.3B") and EXECUTORCH.supports("SAM-2")
+        assert not EXECUTORCH.supports("Whisp-M")
+        assert not EXECUTORCH.supports("DepA-L")
+
+    def test_mnn_tvm_lack_large_models(self):
+        for profile in (MNN, TVM):
+            assert not profile.supports("GPTN-1.3B")
+            assert not profile.supports("SAM-2")
+        assert MNN.supports("SD-UNet")
+        assert not TVM.supports("SD-UNet")
+
+
+class TestProfileCharacteristics:
+    def test_smartmem_is_the_efficiency_reference(self):
+        assert SMARTMEM.exec_efficiency == 1.0
+        assert SMARTMEM.conv_exec_efficiency == 1.0
+
+    def test_etorch_has_no_texture_path(self):
+        assert not EXECUTORCH.uses_texture
+        assert EXECUTORCH.exec_efficiency < 0.01
+
+    def test_conv_frameworks_have_strong_conv_paths(self):
+        for profile in (MNN, NCNN):
+            assert profile.conv_exec_efficiency > 1.0
+            assert profile.exec_efficiency < 0.5
+
+    def test_transform_is_the_bottleneck_for_preloaders(self):
+        # Legacy layout transformation runs at a tiny fraction of the raw
+        # texture-upload bandwidth (Table 1's "Trans." column).
+        for profile in (MNN, NCNN, TVM, SMARTMEM):
+            assert profile.transform_bw_factor < 0.1
+
+    def test_static_planners_reserve_arena_at_start(self):
+        assert TVM.arena_at_start and LITERT.arena_at_start
+        assert not MNN.arena_at_start
+
+    def test_all_load_factors_sane(self):
+        for profile in FRAMEWORK_PROFILES.values():
+            assert 0.0 < profile.load_bw_factor <= 1.0
+            assert profile.baseline_mb > 0
