@@ -1,0 +1,86 @@
+"""Bench: CP solver throughput — trail-based core vs the seed solver.
+
+Two head-to-head comparisons under identical time/node budgets, written to
+``results/BENCH_solver.json`` so future PRs can track the trajectory:
+
+- **microbench** — the synthetic OPG-window workload from
+  ``repro.opg.cpsat.bench`` (shaped exactly like ``LcOpgSolver._cp_window``
+  models); headline = geometric mean of per-window nodes/sec ratios.
+- **table4** — the paper's solver-scaling model set run through the full
+  LC-OPG pipeline with each engine injected via ``solver_factory``;
+  asserts no model regresses from OPTIMAL to FEASIBLE under the new core.
+
+The acceptance bar for the trail rewrite is ≥ 5× nodes/sec.
+"""
+
+import json
+
+from conftest import RESULTS_DIR
+
+from repro.experiments import table4
+from repro.opg.cpsat.bench import run_throughput_benchmark
+
+#: Per-model wall budget for the table4 A/B (short: 2 runs x 6 models).
+TABLE4_BUDGET_S = 6.0
+
+
+def _table4_comparison():
+    rows = {}
+    for solver in ("trail", "naive"):
+        result = table4.run(time_limit_s=TABLE4_BUDGET_S, solver=solver)
+        rows[solver] = [
+            {
+                "model": r.model,
+                "status": r.status,
+                "solve_s": round(r.solve_s, 3),
+                "nodes": r.nodes,
+                "nodes_per_sec": round(r.nodes_per_sec, 1),
+            }
+            for r in result.rows
+        ]
+    return {
+        "time_limit_s": TABLE4_BUDGET_S,
+        "trail": rows["trail"],
+        "naive": rows["naive"],
+    }
+
+
+def _run_all():
+    return {
+        "microbench": run_throughput_benchmark(time_limit_s=3.0, max_nodes=60_000),
+        "table4_workload": _table4_comparison(),
+    }
+
+
+def test_solver_throughput(benchmark):
+    result = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_solver.json").write_text(json.dumps(result, indent=2) + "\n")
+
+    micro = result["microbench"]
+    trail, naive = micro["trail"], micro["naive"]
+    print(
+        f"\nmicrobench trail: {trail['nodes_per_sec']:.0f} nodes/s, "
+        f"{trail['windows_to_optimal']}/{len(trail['windows'])} windows OPTIMAL\n"
+        f"microbench naive: {naive['nodes_per_sec']:.0f} nodes/s, "
+        f"{naive['windows_to_optimal']}/{len(naive['windows'])} windows OPTIMAL\n"
+        f"speedup: {micro['speedup_nodes_per_sec']:.1f}x geomean "
+        f"({micro['speedup_aggregate']:.1f}x aggregate)"
+    )
+
+    # The tentpole's acceptance bar: >= 5x search throughput, and the trail
+    # solver proves at least as many windows optimal as the seed solver.
+    assert micro["speedup_nodes_per_sec"] >= 5.0
+    assert trail["windows_to_optimal"] >= naive["windows_to_optimal"]
+
+    # Table 4 workload: same budgets, no OPTIMAL -> FEASIBLE regression.
+    t4 = result["table4_workload"]
+    naive_status = {r["model"]: r["status"] for r in t4["naive"]}
+    for row in t4["trail"]:
+        print(f"table4 {row['model']:12s} trail={row['status']:9s} "
+              f"naive={naive_status[row['model']]:9s} {row['nodes_per_sec']:.0f} nodes/s")
+        if naive_status[row["model"]] == "OPTIMAL":
+            assert row["status"] == "OPTIMAL", (
+                f"{row['model']} regressed from OPTIMAL to {row['status']}"
+            )
+        assert row["status"] in ("OPTIMAL", "FEASIBLE")

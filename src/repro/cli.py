@@ -48,12 +48,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also run a preloading baseline for comparison")
     run_p.add_argument("--time-limit", type=float, default=5.0,
                        help="LC-OPG solver budget in seconds")
+    run_p.add_argument("--solver-stats", action="store_true",
+                       help="print the per-window CP solver statistics table")
 
     plan_p = sub.add_parser("plan", help="solve and inspect an overlap plan")
     plan_p.add_argument("model", choices=sorted(ALL_CARDS))
     plan_p.add_argument("--device", default="OnePlus 12", choices=sorted(DEVICE_PRESETS))
     plan_p.add_argument("--time-limit", type=float, default=5.0)
     plan_p.add_argument("--out", default=None, help="write the plan JSON here")
+    plan_p.add_argument("--solver-stats", action="store_true",
+                       help="print the per-window CP solver statistics table")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS)
@@ -74,6 +78,26 @@ def _cmd_list() -> int:
     return 0
 
 
+def _print_solver_stats(plan) -> None:
+    """Per-window CP solver observability table (``--solver-stats``)."""
+    stats = plan.stats
+    print(f"Solver stats: {stats.nodes_explored} nodes over {stats.cp_windows} CP windows "
+          f"({stats.nodes_per_sec:.0f} nodes/s)")
+    print(f"  tightenings {stats.propagations}; constraint evals: "
+          f"linear {stats.prop_linear}, implication {stats.prop_implication}; "
+          f"queue peak {stats.queue_peak}")
+    print(f"  time: propagate {stats.time_propagate_s:.3f}s, "
+          f"branch {stats.time_branch_s:.3f}s, bound {stats.time_bound_s:.3f}s")
+    if not stats.window_stats:
+        return
+    header = f"  {'win':>4s} {'status':9s} {'nodes':>8s} {'nodes/s':>9s} {'props':>9s} {'qpeak':>6s} {'wall s':>8s}"
+    print(header)
+    for w in stats.window_stats:
+        print(f"  {w['window']:>4d} {w['status']:9s} {w['nodes']:>8d} "
+              f"{w['nodes_per_sec']:>9.0f} {w['propagations']:>9d} "
+              f"{w['queue_peak']:>6d} {w['wall_time_s']:>8.3f}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     graph = load_model(args.model)
@@ -83,6 +107,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     compiled = fm.compile(graph, device, target_preload_ratio=args.preload_ratio)
     print(f"  plan: {compiled.plan.stats.solver_status}, "
           f"preload {compiled.preload_ratio * 100:.1f}%")
+    if args.solver_stats:
+        _print_solver_stats(compiled.plan)
     result = fm.run(compiled, iterations=args.iterations)
     print(f"FlashMem: {result.latency_ms:.0f} ms, "
           f"avg {result.avg_memory_mb:.0f} MB, peak {result.peak_memory_mb:.0f} MB, "
@@ -120,6 +146,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     print(f"  solve {stats.solve_s:.2f}s, build {stats.build_model_s:.2f}s")
     print(f"  preload {plan.preload_ratio * 100:.1f}% "
           f"({len(plan.preloaded_weights)} of {len(plan.schedules)} weights)")
+    if args.solver_stats:
+        _print_solver_stats(plan)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(plan.to_json())

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 from dataclasses import asdict
 from typing import Optional
@@ -50,8 +51,17 @@ class PlanStore:
             return None  # corrupt artifact: treat as a miss
 
     def save(self, plan: OverlapPlan, config: OpgConfig) -> pathlib.Path:
+        """Atomically persist the plan.
+
+        Writes to a ``.tmp`` sibling and ``os.replace``s into place, so a
+        crash mid-write can never leave a truncated artifact that ``load``
+        would silently treat as a miss forever (the ``.tmp`` suffix also
+        keeps partial writes out of :meth:`entries`' ``*.json`` glob).
+        """
         path = self._path(plan.model, plan.device, config)
-        path.write_text(plan.to_json())
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(plan.to_json())
+        os.replace(tmp, path)
         return path
 
     def get_or_solve(self, graph, capacity_model, config: OpgConfig, *, device_name: str) -> OverlapPlan:

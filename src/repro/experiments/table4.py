@@ -41,6 +41,14 @@ class Table4Row:
     build_s: float
     solve_s: float
     status: str
+    # Solver observability (not part of the paper's Table 4 row format;
+    # rendered as a supplementary block below the table).
+    nodes: int = 0
+    nodes_per_sec: float = 0.0
+    propagations: int = 0
+    queue_peak: int = 0
+    cp_windows: int = 0
+    heuristic_windows: int = 0
 
 
 @dataclass
@@ -49,20 +57,51 @@ class Table4Result:
     time_limit_s: float
 
     def render(self) -> str:
-        return render_table(
+        # The paper's table keeps its exact row format; solver observability
+        # (nodes/sec, propagations, queue depth) rides below as its own block.
+        main = render_table(
             ["Model", "Layers", "Process (s)", "Build (s)", "Solve (s)", "Status"],
             [(r.model, r.layers, r.process_s, r.build_s, r.solve_s, r.status) for r in self.rows],
             title=f"Table 4 — LC-OPG runtime (limit {self.time_limit_s:.0f} s per model)",
         )
+        solver = render_table(
+            ["Model", "Nodes", "Nodes/s", "Propagations", "Queue peak", "CP win", "Greedy win"],
+            [
+                (
+                    r.model,
+                    r.nodes,
+                    round(r.nodes_per_sec),
+                    r.propagations,
+                    r.queue_peak,
+                    r.cp_windows,
+                    r.heuristic_windows,
+                )
+                for r in self.rows
+            ],
+            title="Solver observability (trail-based CP core)",
+        )
+        return main + "\n\n" + solver
 
 
-def run(device: str = DEFAULT_DEVICE, *, time_limit_s: float = 10.0, models: List[str] = None) -> Table4Result:
+def run(
+    device: str = DEFAULT_DEVICE,
+    *,
+    time_limit_s: float = 10.0,
+    models: List[str] = None,
+    solver: str = "trail",
+) -> Table4Result:
+    """``solver`` selects the CP engine: "trail" (production) or "naive"
+    (the seed architecture, kept for A/B benchmarking)."""
+    from repro.opg.cpsat.naive import NaiveCpSolver
+    from repro.opg.cpsat.search import CpSolver
+
+    factory = {"trail": CpSolver, "naive": NaiveCpSolver}[solver]
     capacity = cached_capacity(device)
     rows = []
     for model in models or MODELS:
         graph = load_model(model)
         config = OpgConfig(time_limit_s=time_limit_s, max_nodes_per_window=2000)
-        plan = LcOpgSolver(config).solve(graph, capacity, device_name=device)
+        plan = LcOpgSolver(config, solver_factory=factory).solve(graph, capacity, device_name=device)
         rows.append(
             Table4Row(
                 model=model,
@@ -71,6 +110,12 @@ def run(device: str = DEFAULT_DEVICE, *, time_limit_s: float = 10.0, models: Lis
                 build_s=plan.stats.build_model_s,
                 solve_s=plan.stats.solve_s,
                 status=plan.stats.solver_status,
+                nodes=plan.stats.nodes_explored,
+                nodes_per_sec=plan.stats.nodes_per_sec,
+                propagations=plan.stats.propagations,
+                queue_peak=plan.stats.queue_peak,
+                cp_windows=plan.stats.cp_windows,
+                heuristic_windows=plan.stats.heuristic_windows,
             )
         )
     return Table4Result(rows=rows, time_limit_s=time_limit_s)

@@ -5,20 +5,29 @@ from repro.opg.cpsat.model import (
     Implication,
     IntVar,
     LinearConstraint,
+    ModelIndex,
     Solution,
     SolveStatus,
 )
-from repro.opg.cpsat.propagation import Domains, propagate
+from repro.opg.cpsat.naive import NaiveCpSolver
+from repro.opg.cpsat.propagation import Domains, IncrementalPropagator, Trail, propagate
 from repro.opg.cpsat.search import CpSolver
+from repro.opg.cpsat.stats import PropagationStats, SolverStats
 
 __all__ = [
     "CpModel",
     "Implication",
     "IntVar",
     "LinearConstraint",
+    "ModelIndex",
     "Solution",
     "SolveStatus",
     "Domains",
+    "Trail",
+    "IncrementalPropagator",
     "propagate",
     "CpSolver",
+    "NaiveCpSolver",
+    "PropagationStats",
+    "SolverStats",
 ]

@@ -15,8 +15,10 @@ The solver lives in :mod:`repro.opg.cpsat.search`; propagation in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.opg.cpsat.stats import SolverStats
 
 
 class SolveStatus(enum.Enum):
@@ -65,6 +67,26 @@ class Implication:
     name: str = ""
 
 
+@dataclass(frozen=True)
+class ModelIndex:
+    """Var→constraint watch lists, built once at :meth:`CpModel.freeze` time.
+
+    Drives the dirty-queue incremental propagator: when variable ``v``'s
+    bounds change, only ``var_linears[v]`` / ``var_implications[v]`` need
+    re-evaluation instead of every constraint in the model.
+    """
+
+    #: var index -> ids into ``model.linears`` mentioning the var.
+    var_linears: Tuple[Tuple[int, ...], ...]
+    #: var index -> ids into ``model.implications`` watching the var
+    #: (as condition or consequent).
+    var_implications: Tuple[Tuple[int, ...], ...]
+    #: Variables appearing in the objective (hoisted out of branching).
+    obj_vars: FrozenSet[int]
+    #: var index -> objective coefficient (for incremental bound updates).
+    obj_coef: Dict[int, int]
+
+
 class CpModel:
     """Container for variables, constraints, and the objective."""
 
@@ -76,11 +98,13 @@ class CpModel:
         #: may be negative (maximising a variable).
         self.objective: List[Tuple[int, int]] = []
         self.objective_offset: int = 0
+        self._index: Optional[ModelIndex] = None
 
     # ---------------------------------------------------------------- build
     def new_int(self, lo: int, hi: int, name: str, *, hint: Optional[int] = None) -> IntVar:
         var = IntVar(index=len(self.variables), lo=lo, hi=hi, name=name, hint=hint)
         self.variables.append(var)
+        self._index = None
         return var
 
     def add_linear(
@@ -101,6 +125,7 @@ class CpModel:
             raise ValueError(f"{name}: lo > hi")
         con = LinearConstraint(terms=idx_terms, lo=lo, hi=hi, name=name)
         self.linears.append(con)
+        self._index = None
         return con
 
     def add_sum_eq(self, terms: Sequence[Tuple[IntVar, int]], value: int, *, name: str = "") -> LinearConstraint:
@@ -113,12 +138,43 @@ class CpModel:
         """``(cond >= cond_ge) => (then <= then_ub)`` — OPG constraint C1."""
         imp = Implication(cond=cond.index, cond_ge=cond_ge, then=then.index, then_ub=then_ub, name=name)
         self.implications.append(imp)
+        self._index = None
         return imp
 
     def minimize(self, terms: Sequence[Tuple[IntVar, int]], *, offset: int = 0) -> None:
         """Set the linear objective (replaces any previous objective)."""
         self.objective = [(var.index, coef) for var, coef in terms]
         self.objective_offset = offset
+        self._index = None
+
+    def freeze(self) -> ModelIndex:
+        """Build (or return the cached) var→constraint index.
+
+        Any later mutation of the model invalidates the cache, so callers
+        may freeze eagerly and keep building.
+        """
+        if self._index is not None:
+            return self._index
+        n = len(self.variables)
+        var_linears: List[List[int]] = [[] for _ in range(n)]
+        for cid, con in enumerate(self.linears):
+            for idx, _coef in con.terms:
+                var_linears[idx].append(cid)
+        var_implications: List[List[int]] = [[] for _ in range(n)]
+        for iid, imp in enumerate(self.implications):
+            var_implications[imp.cond].append(iid)
+            if imp.then != imp.cond:
+                var_implications[imp.then].append(iid)
+        obj_coef: Dict[int, int] = {}
+        for idx, coef in self.objective:
+            obj_coef[idx] = obj_coef.get(idx, 0) + coef
+        self._index = ModelIndex(
+            var_linears=tuple(tuple(ids) for ids in var_linears),
+            var_implications=tuple(tuple(ids) for ids in var_implications),
+            obj_vars=frozenset(idx for idx, _ in self.objective),
+            obj_coef=obj_coef,
+        )
+        return self._index
 
     # -------------------------------------------------------------- queries
     @property
@@ -160,10 +216,14 @@ class Solution:
     status: SolveStatus
     values: Optional[List[int]] = None
     objective: Optional[int] = None
-    #: Search statistics.
+    #: Search statistics (headline counters, kept for compatibility).
     nodes_explored: int = 0
     propagations: int = 0
     wall_time_s: float = 0.0
+    #: Full observability: propagations by constraint kind, queue high-water
+    #: mark, time in propagate / branch / bound (None for legacy callers
+    #: that construct Solutions by hand).
+    stats: Optional[SolverStats] = field(default=None, repr=False)
 
     @property
     def feasible(self) -> bool:

@@ -1,0 +1,139 @@
+"""The seed copy-based branch-and-bound solver, preserved verbatim-in-spirit.
+
+This is the pre-trail architecture: ``Domains.copy()`` per child node and a
+full constraint sweep to fixpoint after every branch.  It stays in the tree
+for two jobs:
+
+- the **differential-test oracle**: the trail solver must agree with it
+  (and with brute force) on status and optimal objective;
+- the **benchmark baseline**: ``benchmarks/test_solver_throughput.py``
+  measures the trail solver's nodes/sec against this one and records the
+  ratio in ``BENCH_solver.json``.
+
+Do not use it in production paths — `repro.opg.cpsat.search.CpSolver` is
+strictly faster.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.opg.cpsat.model import CpModel, Solution, SolveStatus
+from repro.opg.cpsat.propagation import Domains, objective_lower_bound, propagate
+from repro.opg.cpsat.search import CpSolver
+from repro.opg.cpsat.stats import SolverStats
+
+
+class NaiveCpSolver:
+    """Copy-based DFS branch-and-bound (the seed architecture)."""
+
+    def __init__(self, *, time_limit_s: float = 10.0, max_nodes: int = 2_000_000) -> None:
+        self.time_limit_s = time_limit_s
+        self.max_nodes = max_nodes
+
+    def solve(self, model: CpModel) -> Solution:
+        start = time.perf_counter()
+        deadline = start + self.time_limit_s
+        root = Domains.from_model(model)
+        stats = SolverStats()
+
+        t0 = time.perf_counter()
+        ok, props = propagate(model, root)
+        stats.absorb(props)
+        stats.time_propagate_s += time.perf_counter() - t0
+        if not ok:
+            stats.wall_time_s = time.perf_counter() - start
+            return Solution(status=SolveStatus.INFEASIBLE, wall_time_s=stats.wall_time_s, stats=stats)
+        root_bound = objective_lower_bound(model, root) if model.objective else None
+
+        best_values: Optional[List[int]] = None
+        best_obj: Optional[int] = None
+        proven_by_bound = False
+        timed_out = False
+        node_budget_hit = False
+
+        # Iterative DFS: stack of full domain-state copies to explore.
+        stack: List[Domains] = [root]
+        while stack:
+            if time.perf_counter() > deadline:
+                timed_out = True
+                break
+            if stats.nodes >= self.max_nodes:
+                node_budget_hit = True
+                break
+            domains = stack.pop()
+            stats.nodes += 1
+
+            if best_obj is not None and model.objective:
+                t0 = time.perf_counter()
+                bound = objective_lower_bound(model, domains)
+                stats.time_bound_s += time.perf_counter() - t0
+                if bound >= best_obj:
+                    continue  # cannot improve
+
+            t0 = time.perf_counter()
+            branch_var = self._select_variable(model, domains)
+            stats.time_branch_s += time.perf_counter() - t0
+            if branch_var is None:
+                values = domains.assignment()
+                obj = model.objective_value(values) if model.objective else 0
+                if best_obj is None or obj < best_obj:
+                    best_obj = obj
+                    best_values = values
+                    if not model.objective:
+                        break  # satisfaction problem: first solution wins
+                    if root_bound is not None and obj <= root_bound:
+                        proven_by_bound = True
+                        break
+                continue
+
+            for child_lo, child_hi in reversed(CpSolver._branches(model, domains, branch_var)):
+                child = domains.copy()
+                child.lo[branch_var] = child_lo
+                child.hi[branch_var] = child_hi
+                t0 = time.perf_counter()
+                ok, props = propagate(model, child)
+                stats.absorb(props)
+                stats.time_propagate_s += time.perf_counter() - t0
+                if ok:
+                    stack.append(child)
+
+        stats.wall_time_s = time.perf_counter() - start
+        if best_values is None:
+            status = SolveStatus.UNKNOWN if (timed_out or node_budget_hit) else SolveStatus.INFEASIBLE
+            return Solution(
+                status=status,
+                nodes_explored=stats.nodes,
+                propagations=stats.propagations,
+                wall_time_s=stats.wall_time_s,
+                stats=stats,
+            )
+        proven = proven_by_bound or not (timed_out or node_budget_hit)
+        status = SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE
+        return Solution(
+            status=status,
+            values=best_values,
+            objective=best_obj,
+            nodes_explored=stats.nodes,
+            propagations=stats.propagations,
+            wall_time_s=stats.wall_time_s,
+            stats=stats,
+        )
+
+    @staticmethod
+    def _select_variable(model: CpModel, domains: Domains) -> Optional[int]:
+        """Seed behaviour: rebuilds the objective-variable set at every node
+        (the cost the trail solver hoists to freeze time)."""
+        obj_vars = {idx for idx, _ in model.objective}
+        best_idx: Optional[int] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for idx in range(len(domains.lo)):
+            width = domains.hi[idx] - domains.lo[idx]
+            if width == 0:
+                continue
+            key = (0 if idx in obj_vars else 1, width)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = idx
+        return best_idx

@@ -1,22 +1,39 @@
 """Bounds propagation for the CP model.
 
-Fixed-point propagation over variable domains represented as (lo, hi)
-arrays:
+Two engines over (lo, hi) domain arrays:
 
-- linear constraints tighten each variable against the residual slack of the
-  other terms (standard bounds consistency for positive coefficients);
-- implications propagate both directions: triggering the condition clamps
-  the consequent's upper bound, and a violated consequent forbids the
-  condition (``lb(then) > then_ub  =>  cond <= cond_ge - 1``).
+- :func:`propagate` — the reference full-sweep fixpoint: re-scan every
+  linear and implication up to ``max_passes`` times.  O(constraints) per
+  pass regardless of what changed; kept as the oracle for the naive solver
+  and for differential tests.  Its :class:`PropagationStats` now reports
+  whether the fixpoint was actually reached, so exhausting ``max_passes``
+  is never silently treated as convergence.
+- :class:`IncrementalPropagator` — the production engine: a dirty-constraint
+  queue seeded from the variables whose bounds changed, driven by the
+  var→constraint watch lists frozen on the model
+  (:meth:`CpModel.freeze`).  Work is O(affected constraints), and because
+  domains only ever shrink the queue provably drains — no pass cap needed.
 
-Returns ``False`` on a wiped-out domain (dead branch).
+Both tighten identically:
+
+- linear constraints bound each variable against the residual slack of the
+  other terms (bounds consistency for positive coefficients);
+- implications propagate both directions: a triggered condition clamps the
+  consequent's upper bound, and a violated consequent forbids the condition
+  (``lb(then) > then_ub  =>  cond <= cond_ge - 1``).
+
+All mutations in the incremental path go through a :class:`Trail` — a
+single undo log over one shared domain store, so backtracking restores a
+parent search node in O(changes) instead of copying O(vars) arrays.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.opg.cpsat.model import CpModel
+from repro.opg.cpsat.stats import PropagationStats
 
 
 class Domains:
@@ -47,18 +64,237 @@ class Domains:
         return list(self.lo)
 
 
-def propagate(model: CpModel, domains: Domains, *, max_passes: int = 64) -> Tuple[bool, int]:
-    """Run propagation to fixpoint.
+class Trail:
+    """Undo log over one shared :class:`Domains` store.
 
-    Returns ``(consistent, tightenings)``: consistent is False when some
-    domain became empty; tightenings counts bound updates (for stats).
+    Search enters a branch by recording the old bound for every tightening
+    (``(var, which_bound, old_value)`` entries) and leaves it by popping
+    back to a mark — O(changes) instead of the O(vars) ``Domains.copy`` the
+    seed solver paid per child node.
+
+    The trail also maintains the objective lower bound *incrementally*:
+    given the objective coefficient map, every ``set_lo`` on a
+    positive-coefficient variable (resp. ``set_hi`` on a negative one)
+    nudges ``lower_bound`` by ``coef * delta``, and undo reverses it — so
+    bound pruning is a single comparison at every node instead of an
+    O(objective) re-scan.
+    """
+
+    __slots__ = ("domains", "entries", "obj_coef", "lower_bound")
+
+    def __init__(
+        self,
+        domains: Domains,
+        *,
+        obj_coef: Optional[Dict[int, int]] = None,
+        obj_offset: int = 0,
+    ) -> None:
+        self.domains = domains
+        self.entries: List[Tuple[int, int, int]] = []
+        self.obj_coef = dict(obj_coef or {})
+        bound = obj_offset
+        for idx, coef in self.obj_coef.items():
+            bound += coef * (domains.lo[idx] if coef > 0 else domains.hi[idx])
+        self.lower_bound = bound
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def mark(self) -> int:
+        return len(self.entries)
+
+    def set_lo(self, idx: int, value: int) -> None:
+        old = self.domains.lo[idx]
+        self.entries.append((idx, 0, old))
+        self.domains.lo[idx] = value
+        coef = self.obj_coef.get(idx)
+        if coef is not None and coef > 0:
+            self.lower_bound += coef * (value - old)
+
+    def set_hi(self, idx: int, value: int) -> None:
+        old = self.domains.hi[idx]
+        self.entries.append((idx, 1, old))
+        self.domains.hi[idx] = value
+        coef = self.obj_coef.get(idx)
+        if coef is not None and coef < 0:
+            self.lower_bound += coef * (value - old)
+
+    def undo_to(self, mark: int) -> None:
+        entries = self.entries
+        lo, hi = self.domains.lo, self.domains.hi
+        obj_coef = self.obj_coef
+        while len(entries) > mark:
+            idx, which, old = entries.pop()
+            coef = obj_coef.get(idx)
+            if which == 0:
+                if coef is not None and coef > 0:
+                    self.lower_bound += coef * (old - lo[idx])
+                lo[idx] = old
+            else:
+                if coef is not None and coef < 0:
+                    self.lower_bound += coef * (old - hi[idx])
+                hi[idx] = old
+
+
+class IncrementalPropagator:
+    """Dirty-queue propagation over a frozen model.
+
+    Constraint ids: ``[0, n_linears)`` are linears, ``n_linears + j`` is
+    implication ``j``.  A bound change on variable ``v`` enqueues exactly
+    the constraints watching ``v`` (from :class:`ModelIndex`); each linear
+    is re-evaluated to its local fixpoint before moving on, so it never
+    re-enqueues itself.
+    """
+
+    __slots__ = (
+        "model",
+        "index",
+        "n_linears",
+        "_queue",
+        "_in_queue",
+        "_var_linears",
+        "_var_implications",
+    )
+
+    def __init__(self, model: CpModel) -> None:
+        self.model = model
+        self.index = model.freeze()
+        self.n_linears = len(model.linears)
+        self._queue: deque = deque()
+        self._in_queue = bytearray(self.n_linears + len(model.implications))
+        # Hot-loop locals: the watch lists are walked once per tightening.
+        self._var_linears = self.index.var_linears
+        self._var_implications = self.index.var_implications
+
+    # ------------------------------------------------------------- seeding
+    def propagate_all(self, trail: Trail, stats: PropagationStats) -> bool:
+        """Full propagation (root node): every constraint starts dirty."""
+        queue, in_queue = self._queue, self._in_queue
+        for cid in range(len(in_queue)):
+            queue.append(cid)
+            in_queue[cid] = 1
+        return self._drain(trail, stats)
+
+    def propagate_from(
+        self, trail: Trail, dirty_vars: Sequence[int], stats: PropagationStats
+    ) -> bool:
+        """Propagate after ``dirty_vars`` had their bounds changed."""
+        for var in dirty_vars:
+            self._enqueue_watchers(var, -1)
+        return self._drain(trail, stats)
+
+    # ------------------------------------------------------------ internals
+    def _enqueue_watchers(self, var: int, skip_cid: int) -> None:
+        queue, in_queue = self._queue, self._in_queue
+        append = queue.append
+        for cid in self._var_linears[var]:
+            if cid != skip_cid and not in_queue[cid]:
+                in_queue[cid] = 1
+                append(cid)
+        base = self.n_linears
+        for iid in self._var_implications[var]:
+            cid = base + iid
+            if cid != skip_cid and not in_queue[cid]:
+                in_queue[cid] = 1
+                append(cid)
+
+    def _drain(self, trail: Trail, stats: PropagationStats) -> bool:
+        queue, in_queue = self._queue, self._in_queue
+        linears = self.model.linears
+        implications = self.model.implications
+        n_linears = self.n_linears
+        ok = True
+        while queue:
+            if len(queue) > stats.queue_peak:
+                stats.queue_peak = len(queue)
+            cid = queue.popleft()
+            in_queue[cid] = 0
+            if cid < n_linears:
+                ok = self._prop_linear(cid, linears[cid], trail, stats)
+            else:
+                ok = self._prop_implication(cid, implications[cid - n_linears], trail, stats)
+            if not ok:
+                break
+        if not ok:
+            # Leave the propagator clean for the next search node.
+            while queue:
+                in_queue[queue.popleft()] = 0
+        return ok
+
+    def _prop_linear(self, cid: int, con, trail: Trail, stats: PropagationStats) -> bool:
+        lo, hi = trail.domains.lo, trail.domains.hi
+        terms = con.terms
+        con_lo, con_hi = con.lo, con.hi
+        set_lo, set_hi = trail.set_lo, trail.set_hi
+        enqueue = self._enqueue_watchers
+        stats.linear_props += 1
+        while True:
+            sum_lo = 0
+            sum_hi = 0
+            for idx, coef in terms:
+                sum_lo += coef * lo[idx]
+                sum_hi += coef * hi[idx]
+            if sum_lo > con_hi or sum_hi < con_lo:
+                return False
+            changed = False
+            for idx, coef in terms:
+                rest_lo = sum_lo - coef * lo[idx]
+                rest_hi = sum_hi - coef * hi[idx]
+                new_hi = (con_hi - rest_lo) // coef
+                need = con_lo - rest_hi
+                new_lo = -((-need) // coef) if need > 0 else lo[idx]
+                if new_hi < hi[idx]:
+                    set_hi(idx, new_hi)
+                    changed = True
+                    stats.tightenings += 1
+                    enqueue(idx, cid)
+                if new_lo > lo[idx]:
+                    set_lo(idx, new_lo)
+                    changed = True
+                    stats.tightenings += 1
+                    enqueue(idx, cid)
+                if lo[idx] > hi[idx]:
+                    return False
+            if not changed:
+                return True
+
+    def _prop_implication(self, cid: int, imp, trail: Trail, stats: PropagationStats) -> bool:
+        lo, hi = trail.domains.lo, trail.domains.hi
+        stats.implication_props += 1
+        # cond >= cond_ge guaranteed -> then <= then_ub
+        if lo[imp.cond] >= imp.cond_ge and imp.then_ub < hi[imp.then]:
+            trail.set_hi(imp.then, imp.then_ub)
+            stats.tightenings += 1
+            if lo[imp.then] > hi[imp.then]:
+                return False
+            self._enqueue_watchers(imp.then, cid)
+        # then must exceed then_ub -> cond must stay below cond_ge
+        if lo[imp.then] > imp.then_ub and hi[imp.cond] >= imp.cond_ge:
+            trail.set_hi(imp.cond, imp.cond_ge - 1)
+            stats.tightenings += 1
+            if lo[imp.cond] > hi[imp.cond]:
+                return False
+            self._enqueue_watchers(imp.cond, cid)
+        return True
+
+
+def propagate(
+    model: CpModel, domains: Domains, *, max_passes: int = 64
+) -> Tuple[bool, PropagationStats]:
+    """Run full-sweep propagation toward fixpoint (reference engine).
+
+    Returns ``(consistent, stats)``: consistent is False when some domain
+    became empty; ``stats.fixpoint_reached`` is False when ``max_passes``
+    ran out while bounds were still moving (callers must not treat such a
+    truncated run as converged).
     """
     lo, hi = domains.lo, domains.hi
-    tightenings = 0
+    stats = PropagationStats(fixpoint_reached=False)
     for _ in range(max_passes):
         changed = False
 
         for con in model.linears:
+            stats.linear_props += 1
             # Current bounds of the sum.
             sum_lo = 0
             sum_hi = 0
@@ -66,7 +302,8 @@ def propagate(model: CpModel, domains: Domains, *, max_passes: int = 64) -> Tupl
                 sum_lo += coef * lo[idx]
                 sum_hi += coef * hi[idx]
             if sum_lo > con.hi or sum_hi < con.lo:
-                return False, tightenings
+                stats.fixpoint_reached = True
+                return False, stats
             for idx, coef in con.terms:
                 term_lo = coef * lo[idx]
                 term_hi = coef * hi[idx]
@@ -80,39 +317,45 @@ def propagate(model: CpModel, domains: Domains, *, max_passes: int = 64) -> Tupl
                 if new_hi < hi[idx]:
                     hi[idx] = new_hi
                     changed = True
-                    tightenings += 1
+                    stats.tightenings += 1
                 if new_lo > lo[idx]:
                     lo[idx] = new_lo
                     changed = True
-                    tightenings += 1
+                    stats.tightenings += 1
                 if lo[idx] > hi[idx]:
-                    return False, tightenings
+                    stats.fixpoint_reached = True
+                    return False, stats
 
         for imp in model.implications:
+            stats.implication_props += 1
             # cond >= cond_ge guaranteed -> then <= then_ub
             if lo[imp.cond] >= imp.cond_ge:
                 if imp.then_ub < hi[imp.then]:
                     hi[imp.then] = imp.then_ub
                     changed = True
-                    tightenings += 1
+                    stats.tightenings += 1
                     if lo[imp.then] > hi[imp.then]:
-                        return False, tightenings
+                        stats.fixpoint_reached = True
+                        return False, stats
             # then must exceed then_ub -> cond must stay below cond_ge
             if lo[imp.then] > imp.then_ub:
                 if hi[imp.cond] >= imp.cond_ge:
                     hi[imp.cond] = imp.cond_ge - 1
                     changed = True
-                    tightenings += 1
+                    stats.tightenings += 1
                     if lo[imp.cond] > hi[imp.cond]:
-                        return False, tightenings
+                        stats.fixpoint_reached = True
+                        return False, stats
 
         if not changed:
+            stats.fixpoint_reached = True
             break
-    return True, tightenings
+    return True, stats
 
 
 def objective_lower_bound(model: CpModel, domains: Domains) -> int:
-    """Optimistic objective value from current bounds."""
+    """Optimistic objective value from current bounds (O(objective) re-scan;
+    the trail solver maintains this incrementally instead)."""
     total = model.objective_offset
     for idx, coef in model.objective:
         total += coef * (domains.lo[idx] if coef > 0 else domains.hi[idx])

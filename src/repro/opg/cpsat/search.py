@@ -1,26 +1,45 @@
-"""Branch-and-bound search for the CP model.
+"""Trail-based branch-and-bound search for the CP model.
 
 Depth-first search with:
 
-- bounds propagation at every node;
+- ONE mutable domain store plus a :class:`Trail` undo log — entering a
+  branch records O(changes) entries and leaving pops them, replacing the
+  seed solver's O(vars) ``Domains.copy`` per child node;
+- incremental propagation at every node: only the constraints watching the
+  branched variable (and transitively affected ones) are re-evaluated,
+  via the var→constraint index frozen on the model;
+- an incrementally-maintained objective lower bound (updated as bounds
+  tighten) for one-comparison pruning against the incumbent;
 - hint-guided value ordering (try the decision hint, then interval split);
-- objective-based pruning against the incumbent;
 - a wall-clock time limit returning FEASIBLE with the incumbent (matching
   the paper's Table 4, where large models hit the 150 s limit and report
   FEASIBLE rather than OPTIMAL).
+
+Every solve returns a :class:`SolverStats` on the Solution: nodes/sec,
+propagations by constraint kind, dirty-queue high-water mark, and the
+time split between propagate / branch / bound.
+
+The seed copy-based solver survives as
+:class:`repro.opg.cpsat.naive.NaiveCpSolver` — the differential-test
+oracle and the benchmark baseline.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.opg.cpsat.model import CpModel, Solution, SolveStatus
-from repro.opg.cpsat.propagation import Domains, objective_lower_bound, propagate
+from repro.opg.cpsat.propagation import Domains, IncrementalPropagator, Trail
+from repro.opg.cpsat.stats import PropagationStats, SolverStats
+
+#: Deadline checks happen every ``_TIME_CHECK_MASK + 1`` nodes: a
+#: perf_counter call per node is measurable at trail-solver node rates.
+_TIME_CHECK_MASK = 31
 
 
 class CpSolver:
-    """Configurable branch-and-bound solver."""
+    """Configurable branch-and-bound solver (trail + incremental propagation)."""
 
     def __init__(self, *, time_limit_s: float = 10.0, max_nodes: int = 2_000_000) -> None:
         self.time_limit_s = time_limit_s
@@ -29,16 +48,27 @@ class CpSolver:
     def solve(self, model: CpModel) -> Solution:
         start = time.perf_counter()
         deadline = start + self.time_limit_s
-        root = Domains.from_model(model)
-        stats = {"nodes": 0, "props": 0}
+        stats = SolverStats()
+        index = model.freeze()
+        domains = Domains.from_model(model)
+        trail = Trail(domains, obj_coef=index.obj_coef, obj_offset=model.objective_offset)
+        propagator = IncrementalPropagator(model)
+        has_obj = bool(model.objective)
 
-        ok, props = propagate(model, root)
-        stats["props"] += props
+        # One cumulative PropagationStats for the whole solve (allocating
+        # per node costs ~10% at trail-solver node rates); folded into the
+        # SolverStats once at exit.
+        prop_stats = PropagationStats()
+        t0 = time.perf_counter()
+        ok = propagator.propagate_all(trail, prop_stats)
+        stats.time_propagate_s += time.perf_counter() - t0
         if not ok:
-            return Solution(status=SolveStatus.INFEASIBLE, wall_time_s=time.perf_counter() - start)
+            stats.absorb(prop_stats)
+            stats.wall_time_s = time.perf_counter() - start
+            return Solution(status=SolveStatus.INFEASIBLE, wall_time_s=stats.wall_time_s, stats=stats)
         # If an incumbent ever matches the root relaxation bound it is
         # provably optimal — exit without exhausting the plateau.
-        root_bound = objective_lower_bound(model, root) if model.objective else None
+        root_bound = trail.lower_bound if has_obj else None
 
         best_values: Optional[List[int]] = None
         best_obj: Optional[int] = None
@@ -46,70 +76,103 @@ class CpSolver:
         timed_out = False
         node_budget_hit = False
 
-        # Iterative DFS: stack of domain states to explore.
-        stack: List[Domains] = [root]
+        lo, hi = domains.lo, domains.hi
+        obj_vars = index.obj_vars
+        # Iterative DFS over branch ops.  Each entry restores the trail to
+        # ``mark`` (the parent's state) and then applies ``var in
+        # [child_lo, child_hi]``; the root sentinel applies nothing.
+        stack: List[Tuple[int, int, int, int]] = [(trail.mark(), -1, 0, 0)]
         while stack:
-            if time.perf_counter() > deadline:
-                timed_out = True
-                break
-            if stats["nodes"] >= self.max_nodes:
+            if stats.nodes >= self.max_nodes:
                 node_budget_hit = True
                 break
-            domains = stack.pop()
-            stats["nodes"] += 1
+            if (stats.nodes & _TIME_CHECK_MASK) == 0 and time.perf_counter() > deadline:
+                timed_out = True
+                break
+            mark, var, child_lo, child_hi = stack.pop()
+            stats.nodes += 1
 
-            if best_obj is not None and model.objective:
-                if objective_lower_bound(model, domains) >= best_obj:
-                    continue  # cannot improve
+            if var >= 0:
+                t0 = time.perf_counter()
+                trail.undo_to(mark)
+                if child_lo > lo[var]:
+                    trail.set_lo(var, child_lo)
+                if child_hi < hi[var]:
+                    trail.set_hi(var, child_hi)
+                # The trail updated the objective bound as the branch was
+                # applied — prune before paying for propagation.
+                pruned = best_obj is not None and has_obj and trail.lower_bound >= best_obj
+                stats.time_bound_s += time.perf_counter() - t0
+                if pruned:
+                    continue
 
-            branch_var = self._select_variable(model, domains)
+                t0 = time.perf_counter()
+                ok = propagator.propagate_from(trail, (var,), prop_stats)
+                stats.time_propagate_s += time.perf_counter() - t0
+                if len(trail.entries) > stats.trail_depth_peak:
+                    stats.trail_depth_peak = len(trail.entries)
+                if not ok:
+                    continue
+
+            if best_obj is not None and has_obj and trail.lower_bound >= best_obj:
+                continue  # cannot improve
+
+            t0 = time.perf_counter()
+            branch_var = self._select_variable(lo, hi, obj_vars)
             if branch_var is None:
-                values = domains.assignment()
-                obj = model.objective_value(values) if model.objective else 0
+                stats.time_branch_s += time.perf_counter() - t0
+                values = list(lo)
+                obj = model.objective_value(values) if has_obj else 0
                 if best_obj is None or obj < best_obj:
                     best_obj = obj
                     best_values = values
-                    if not model.objective:
+                    if not has_obj:
                         break  # satisfaction problem: first solution wins
                     if root_bound is not None and obj <= root_bound:
                         proven_by_bound = True
                         break
                 continue
 
-            for child_lo, child_hi in reversed(self._branches(model, domains, branch_var)):
-                child = domains.copy()
-                child.lo[branch_var] = child_lo
-                child.hi[branch_var] = child_hi
-                ok, props = propagate(model, child)
-                stats["props"] += props
-                if ok:
-                    stack.append(child)
+            child_mark = trail.mark()
+            for b_lo, b_hi in reversed(self._branches(model, domains, branch_var)):
+                stack.append((child_mark, branch_var, b_lo, b_hi))
+            stats.time_branch_s += time.perf_counter() - t0
 
-        wall = time.perf_counter() - start
+        stats.absorb(prop_stats)
+        stats.wall_time_s = time.perf_counter() - start
         if best_values is None:
             status = SolveStatus.UNKNOWN if (timed_out or node_budget_hit) else SolveStatus.INFEASIBLE
-            return Solution(status=status, nodes_explored=stats["nodes"], propagations=stats["props"], wall_time_s=wall)
+            return Solution(
+                status=status,
+                nodes_explored=stats.nodes,
+                propagations=stats.propagations,
+                wall_time_s=stats.wall_time_s,
+                stats=stats,
+            )
         proven = proven_by_bound or not (timed_out or node_budget_hit)
         status = SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE
         return Solution(
             status=status,
             values=best_values,
             objective=best_obj,
-            nodes_explored=stats["nodes"],
-            propagations=stats["props"],
-            wall_time_s=wall,
+            nodes_explored=stats.nodes,
+            propagations=stats.propagations,
+            wall_time_s=stats.wall_time_s,
+            stats=stats,
         )
 
     # ------------------------------------------------------------- internals
     @staticmethod
-    def _select_variable(model: CpModel, domains: Domains) -> Optional[int]:
+    def _select_variable(
+        lo: List[int], hi: List[int], obj_vars: FrozenSet[int]
+    ) -> Optional[int]:
         """Smallest-domain-first over unassigned variables (ties: objective
-        variables first so bounding bites early)."""
-        obj_vars = {idx for idx, _ in model.objective}
+        variables first so bounding bites early).  ``obj_vars`` is frozen on
+        the model — not rebuilt per node like the seed solver did."""
         best_idx: Optional[int] = None
         best_key: Optional[Tuple[int, int]] = None
-        for idx in range(len(domains.lo)):
-            width = domains.hi[idx] - domains.lo[idx]
+        for idx in range(len(lo)):
+            width = hi[idx] - lo[idx]
             if width == 0:
                 continue
             key = (0 if idx in obj_vars else 1, width)

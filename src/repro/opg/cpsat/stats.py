@@ -1,0 +1,92 @@
+"""Solver observability: propagation and search statistics.
+
+Two structs thread through the CP-SAT substrate:
+
+- :class:`PropagationStats` — one fixpoint computation (either a full sweep
+  by :func:`repro.opg.cpsat.propagation.propagate` or an incremental
+  dirty-queue run).  ``fixpoint_reached`` exposes whether the sweep variant
+  exhausted ``max_passes`` without converging, so callers never mistake a
+  truncated propagation for a fixpoint.
+- :class:`SolverStats` — a whole solve call (nodes/sec, propagations by
+  constraint kind, dirty-queue high-water mark, time split between
+  propagate / branch / bound).  Carried on
+  :class:`~repro.opg.cpsat.model.Solution` and aggregated per window by
+  ``opg.lcopg`` into the plan's provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class PropagationStats:
+    """Outcome of one propagation run (sweep or incremental)."""
+
+    #: Bound updates applied (lo raised or hi lowered).
+    tightenings: int = 0
+    #: Linear-constraint evaluations.
+    linear_props: int = 0
+    #: Implication evaluations.
+    implication_props: int = 0
+    #: False only when the sweep variant hit ``max_passes`` while bounds
+    #: were still moving; the dirty-queue propagator always converges.
+    fixpoint_reached: bool = True
+    #: Dirty-constraint queue high-water mark (incremental runs only).
+    queue_peak: int = 0
+
+
+@dataclass
+class SolverStats:
+    """Observability for one ``CpSolver.solve`` (or ``NaiveCpSolver``) call."""
+
+    nodes: int = 0
+    #: Total bound tightenings across all propagation runs.
+    propagations: int = 0
+    #: Constraint evaluations by kind.
+    linear_props: int = 0
+    implication_props: int = 0
+    #: Dirty-queue high-water mark across the solve.
+    queue_peak: int = 0
+    #: Deepest trail (undo-log) seen — proxy for search depth x activity.
+    trail_depth_peak: int = 0
+    #: Wall-clock split of the solve loop.
+    time_propagate_s: float = 0.0
+    time_branch_s: float = 0.0
+    time_bound_s: float = 0.0
+    wall_time_s: float = 0.0
+    #: Propagation runs that stopped before fixpoint (naive sweep only;
+    #: always 0 for the trail solver, asserted by its tests).
+    fixpoint_incomplete: int = 0
+
+    @property
+    def nodes_per_sec(self) -> float:
+        return self.nodes / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def absorb(self, prop: PropagationStats) -> None:
+        """Fold one propagation run into the solve-level counters."""
+        self.propagations += prop.tightenings
+        self.linear_props += prop.linear_props
+        self.implication_props += prop.implication_props
+        if prop.queue_peak > self.queue_peak:
+            self.queue_peak = prop.queue_peak
+        if not prop.fixpoint_reached:
+            self.fixpoint_incomplete += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (plan provenance, BENCH_solver.json)."""
+        return {
+            "nodes": self.nodes,
+            "propagations": self.propagations,
+            "linear_props": self.linear_props,
+            "implication_props": self.implication_props,
+            "queue_peak": self.queue_peak,
+            "trail_depth_peak": self.trail_depth_peak,
+            "time_propagate_s": round(self.time_propagate_s, 6),
+            "time_branch_s": round(self.time_branch_s, 6),
+            "time_bound_s": round(self.time_bound_s, 6),
+            "wall_time_s": round(self.wall_time_s, 6),
+            "nodes_per_sec": round(self.nodes_per_sec, 1),
+            "fixpoint_incomplete": self.fixpoint_incomplete,
+        }

@@ -43,9 +43,18 @@ class LcOpgSolver:
     the paper's hybrid fallback for pathological instances).
     """
 
-    def __init__(self, config: Optional[OpgConfig] = None, *, use_cp: bool = True) -> None:
+    def __init__(
+        self,
+        config: Optional[OpgConfig] = None,
+        *,
+        use_cp: bool = True,
+        solver_factory=None,
+    ) -> None:
         self.config = config or OpgConfig()
         self.use_cp = use_cp
+        #: CpSolver-compatible factory ``(time_limit_s=, max_nodes=) -> solver``;
+        #: benchmarks inject NaiveCpSolver here to A/B the seed architecture.
+        self.solver_factory = solver_factory or CpSolver
 
     # ------------------------------------------------------------------ API
     def solve(
@@ -386,10 +395,11 @@ class LcOpgSolver:
         )
         stats.build_model_s += time.perf_counter() - build_start
 
-        solution = CpSolver(
+        solution = self.solver_factory(
             time_limit_s=time_limit_s * 0.7, max_nodes=self.config.max_nodes_per_window
         ).solve(model)
         stats.nodes_explored += solution.nodes_explored
+        self._absorb_solver_stats(stats, solution)
         stats.cp_windows += 1
         if not solution.feasible:
             return None
@@ -435,6 +445,24 @@ class LcOpgSolver:
             for l, chunks in assignment.items():
                 budgets.consume(l, chunks)
         return placed, status
+
+    @staticmethod
+    def _absorb_solver_stats(stats: PlanStats, solution) -> None:
+        """Fold one CP solve's observability into the plan provenance."""
+        sstats = solution.stats
+        if sstats is None:
+            return
+        stats.propagations += sstats.propagations
+        stats.prop_linear += sstats.linear_props
+        stats.prop_implication += sstats.implication_props
+        if sstats.queue_peak > stats.queue_peak:
+            stats.queue_peak = sstats.queue_peak
+        stats.time_propagate_s += sstats.time_propagate_s
+        stats.time_branch_s += sstats.time_branch_s
+        stats.time_bound_s += sstats.time_bound_s
+        stats.window_stats.append(
+            {"window": len(stats.window_stats), "status": solution.status.value, **sstats.as_dict()}
+        )
 
     def _make_schedule(
         self, problem: OpgProblem, w: WeightInfo, assignment

@@ -93,6 +93,26 @@ class PlanStats:
     soft_threshold_rounds: int = 0
     incremental_preloads: int = 0
     nodes_explored: int = 0
+    # ---- solver observability (aggregated over CP windows) ----
+    #: Total bound tightenings across all CP solves.
+    propagations: int = 0
+    #: Constraint evaluations by kind.
+    prop_linear: int = 0
+    prop_implication: int = 0
+    #: Dirty-constraint queue high-water mark across windows.
+    queue_peak: int = 0
+    #: Wall-clock split of the CP search loops.
+    time_propagate_s: float = 0.0
+    time_branch_s: float = 0.0
+    time_bound_s: float = 0.0
+    #: Per-CP-solve observability dicts (window id, status, nodes/sec, ...).
+    window_stats: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def nodes_per_sec(self) -> float:
+        """Aggregate search throughput over the CP windows' solve time."""
+        wall = sum(float(w.get("wall_time_s", 0.0)) for w in self.window_stats)
+        return self.nodes_explored / wall if wall > 0 else 0.0
 
 
 @dataclass

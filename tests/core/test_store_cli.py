@@ -87,6 +87,19 @@ class TestPlanStore:
         assert path.exists()
         assert "/" not in path.name
 
+    def test_save_is_atomic(self, tmp_path):
+        store = PlanStore(tmp_path)
+        capacity = analytic_capacity_model(oneplus_12())
+        graph = _model()
+        plan = store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12")
+        path = store.save(plan, FAST)
+        # No .tmp sibling left behind, and the artifact parses whole.
+        assert not list(tmp_path.glob("*.tmp"))
+        assert json.loads(path.read_text())["model"] == graph.name
+        # A .tmp straggler (crash mid-write) must not surface as an entry.
+        (tmp_path / (path.name + ".tmp")).write_text("{partial")
+        assert len(store.entries()) == 1
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -114,6 +127,18 @@ class TestCli:
         payload = json.loads(out_file.read_text())
         assert payload["model"] == "ResNet50"
         assert payload["schedules"]
+
+    def test_plan_solver_stats(self, capsys):
+        code = cli_main(["plan", "ResNet50", "--time-limit", "1", "--solver-stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Solver stats" in out
+        assert "nodes/s" in out
+
+    def test_run_solver_stats(self, capsys):
+        code = cli_main(["run", "ResNet50", "--time-limit", "1", "--solver-stats"])
+        assert code == 0
+        assert "Solver stats" in capsys.readouterr().out
 
     def test_experiment_command(self, capsys):
         assert cli_main(["experiment", "table5"]) == 0

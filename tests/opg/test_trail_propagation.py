@@ -1,0 +1,273 @@
+"""Unit tests for the trail-based incremental propagation core."""
+
+import random
+
+from repro.opg.cpsat.model import CpModel, SolveStatus
+from repro.opg.cpsat.propagation import (
+    Domains,
+    IncrementalPropagator,
+    Trail,
+    objective_lower_bound,
+    propagate,
+)
+from repro.opg.cpsat.search import CpSolver
+from repro.opg.cpsat.stats import PropagationStats
+
+
+class TestTrail:
+    def test_set_and_undo_restores_bounds(self):
+        d = Domains([0, 0, 0], [9, 9, 9])
+        trail = Trail(d)
+        mark = trail.mark()
+        trail.set_lo(0, 4)
+        trail.set_hi(1, 5)
+        trail.set_lo(0, 6)  # second tightening of the same var
+        assert (d.lo[0], d.hi[1]) == (6, 5)
+        trail.undo_to(mark)
+        assert d.lo == [0, 0, 0] and d.hi == [9, 9, 9]
+        assert len(trail) == 0
+
+    def test_nested_marks_unwind_partially(self):
+        d = Domains([0], [9])
+        trail = Trail(d)
+        trail.set_lo(0, 2)
+        inner = trail.mark()
+        trail.set_lo(0, 7)
+        trail.undo_to(inner)
+        assert d.lo[0] == 2
+
+    def test_incremental_objective_lower_bound(self):
+        # minimise 2*a - 3*b + 1: bound moves with lo(a) and hi(b).
+        d = Domains([0, 0], [10, 10])
+        trail = Trail(d, obj_coef={0: 2, 1: -3}, obj_offset=1)
+        assert trail.lower_bound == 1 + 0 - 30
+        mark = trail.mark()
+        trail.set_lo(0, 4)   # +8
+        trail.set_hi(1, 6)   # -3*(6-10) = +12
+        assert trail.lower_bound == 1 + 8 - 18
+        trail.undo_to(mark)
+        assert trail.lower_bound == 1 - 30
+
+    def test_bound_matches_rescan_under_random_ops(self):
+        rng = random.Random(7)
+        m = CpModel()
+        vs = [m.new_int(0, 8, f"v{i}") for i in range(5)]
+        m.minimize([(vs[0], 2), (vs[1], -1), (vs[3], 3)], offset=4)
+        index = m.freeze()
+        d = Domains.from_model(m)
+        trail = Trail(d, obj_coef=index.obj_coef, obj_offset=m.objective_offset)
+        marks = []
+        for _ in range(200):
+            if marks and rng.random() < 0.3:
+                trail.undo_to(marks.pop())
+            else:
+                marks.append(trail.mark())
+                idx = rng.randrange(5)
+                if rng.random() < 0.5 and d.lo[idx] < d.hi[idx]:
+                    trail.set_lo(idx, d.lo[idx] + 1)
+                elif d.hi[idx] > d.lo[idx]:
+                    trail.set_hi(idx, d.hi[idx] - 1)
+            assert trail.lower_bound == objective_lower_bound(m, d)
+
+
+class TestModelFreeze:
+    def test_index_maps_vars_to_constraints(self):
+        m = CpModel()
+        a = m.new_int(0, 5, "a")
+        b = m.new_int(0, 5, "b")
+        c = m.new_int(0, 5, "c")
+        m.add_sum_le([(a, 1), (b, 1)], 6)
+        m.add_sum_le([(b, 2)], 8)
+        m.add_implication(a, 2, c, 3)
+        idx = m.freeze()
+        assert idx.var_linears[a.index] == (0,)
+        assert idx.var_linears[b.index] == (0, 1)
+        assert idx.var_linears[c.index] == ()
+        assert idx.var_implications[a.index] == (0,)
+        assert idx.var_implications[c.index] == (0,)
+
+    def test_freeze_cache_invalidated_by_mutation(self):
+        m = CpModel()
+        a = m.new_int(0, 5, "a")
+        first = m.freeze()
+        assert m.freeze() is first  # cached
+        m.add_sum_le([(a, 1)], 3)
+        second = m.freeze()
+        assert second is not first
+        assert second.var_linears[a.index] == (0,)
+
+    def test_objective_index(self):
+        m = CpModel()
+        a = m.new_int(0, 5, "a")
+        b = m.new_int(0, 5, "b")
+        m.minimize([(a, 2), (b, -1)])
+        idx = m.freeze()
+        assert idx.obj_vars == {a.index, b.index}
+        assert idx.obj_coef == {a.index: 2, b.index: -1}
+
+
+def _assert_same_fixpoint(model: CpModel) -> None:
+    """Sweep and incremental propagation must land on identical bounds."""
+    sweep = Domains.from_model(model)
+    ok_sweep, sweep_stats = propagate(model, sweep)
+    assert sweep_stats.fixpoint_reached
+
+    inc = Domains.from_model(model)
+    trail = Trail(inc)
+    prop = IncrementalPropagator(model)
+    stats = PropagationStats()
+    ok_inc = prop.propagate_all(trail, stats)
+
+    assert ok_inc == ok_sweep
+    if ok_sweep:
+        assert inc.lo == sweep.lo and inc.hi == sweep.hi
+
+
+class TestIncrementalPropagator:
+    def test_matches_sweep_on_linear_chain(self):
+        m = CpModel()
+        a = m.new_int(0, 10, "a")
+        b = m.new_int(4, 10, "b")
+        c = m.new_int(0, 10, "c")
+        m.add_sum_le([(a, 1), (b, 1)], 7)
+        m.add_linear([(a, 1), (c, 1)], lo=8, hi=20)
+        _assert_same_fixpoint(m)
+
+    def test_matches_sweep_on_implications(self):
+        m = CpModel()
+        x = m.new_int(1, 5, "x")
+        z = m.new_int(0, 9, "z")
+        y = m.new_int(7, 9, "y")
+        m.add_implication(x, 1, z, 4)
+        m.add_implication(z, 9, y, 4)
+        _assert_same_fixpoint(m)
+
+    def test_matches_sweep_on_random_models(self):
+        rng = random.Random(99)
+        for _ in range(80):
+            m = CpModel()
+            vs = [m.new_int(rng.randint(0, 2), rng.randint(3, 9), f"v{i}") for i in range(5)]
+            for c in range(rng.randint(1, 5)):
+                idxs = rng.sample(range(5), rng.randint(1, 4))
+                m.add_linear(
+                    [(vs[i], rng.randint(1, 3)) for i in idxs],
+                    lo=rng.randint(0, 5),
+                    hi=rng.randint(5, 25),
+                    name=f"c{c}",
+                )
+            for _ in range(rng.randint(0, 3)):
+                i, j = rng.sample(range(5), 2)
+                m.add_implication(vs[i], rng.randint(0, 8), vs[j], rng.randint(0, 8))
+            _assert_same_fixpoint(m)
+
+    def test_dirty_seeding_propagates_only_affected(self):
+        m = CpModel()
+        a = m.new_int(0, 10, "a")
+        b = m.new_int(0, 10, "b")
+        c = m.new_int(0, 10, "c")  # disconnected from a
+        m.add_sum_le([(a, 1), (b, 1)], 12)
+        m.add_sum_le([(c, 1)], 9)
+        prop = IncrementalPropagator(m)
+        d = Domains.from_model(m)
+        trail = Trail(d)
+        stats = PropagationStats()
+        assert prop.propagate_all(trail, stats)  # root fixpoint (hi[c] -> 9)
+        # Now branch on a: only constraint 0 should be touched.
+        trail.set_lo(a.index, 8)
+        stats = PropagationStats()
+        assert prop.propagate_from(trail, (a.index,), stats)
+        assert d.hi[b.index] == 4
+        assert stats.linear_props == 1  # constraint on c never re-evaluated
+
+    def test_infeasibility_detected_and_queue_left_clean(self):
+        m = CpModel()
+        a = m.new_int(0, 5, "a")
+        b = m.new_int(0, 5, "b")
+        m.add_linear([(a, 1), (b, 1)], lo=8, hi=10)
+        m.add_sum_le([(a, 1)], 1)
+        m.add_sum_le([(b, 1)], 1)
+        prop = IncrementalPropagator(m)
+        d = Domains.from_model(m)
+        trail = Trail(d)
+        assert not prop.propagate_all(trail, PropagationStats())
+        assert not prop._queue  # ready for reuse after a conflict
+
+    def test_queue_peak_recorded(self):
+        m = CpModel()
+        vs = [m.new_int(0, 9, f"v{i}") for i in range(6)]
+        for i in range(5):
+            m.add_sum_le([(vs[i], 1), (vs[i + 1], 1)], 9)
+        prop = IncrementalPropagator(m)
+        stats = PropagationStats()
+        prop.propagate_all(Trail(Domains.from_model(m)), stats)
+        assert stats.queue_peak >= 1
+
+
+class TestSweepFixpointGuard:
+    def test_fixpoint_flag_true_on_easy_model(self):
+        m = CpModel()
+        a = m.new_int(0, 10, "a")
+        m.add_sum_le([(a, 1)], 5)
+        ok, stats = propagate(m, Domains.from_model(m))
+        assert ok and stats.fixpoint_reached
+
+    def test_max_passes_exhaustion_is_reported(self):
+        # con1 raises lb(b) only after con0 ran, so con0's tightening of
+        # hi(a) against the new lb(b) needs a second pass: with
+        # max_passes=1 the sweep is truncated and must say so.
+        m = CpModel()
+        a = m.new_int(0, 20, "a")
+        b = m.new_int(0, 50, "b")
+        m.add_linear([(a, 1), (b, 1)], lo=0, hi=10, name="con0")
+        m.add_linear([(b, 1)], lo=8, hi=50, name="con1")
+        ok, stats = propagate(m, Domains.from_model(m), max_passes=1)
+        assert ok
+        assert not stats.fixpoint_reached  # truncated, not converged
+        ok, stats = propagate(m, Domains.from_model(m))
+        assert ok and stats.fixpoint_reached  # default budget converges
+
+    def test_solver_stats_report_no_incomplete_fixpoints(self):
+        m = CpModel()
+        xs = [m.new_int(0, 4, f"x{i}") for i in range(6)]
+        m.add_sum_eq([(x, 1) for x in xs], 10)
+        m.minimize([(xs[0], 1)])
+        sol = CpSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.stats is not None
+        assert sol.stats.fixpoint_incomplete == 0
+        assert sol.stats.nodes == sol.nodes_explored
+        assert sol.stats.propagations == sol.propagations
+        assert sol.stats.linear_props > 0
+        assert sol.stats.wall_time_s > 0
+        assert sol.stats.nodes_per_sec > 0
+
+
+class TestTrailSolverBehaviour:
+    def test_stats_threaded_through_solution(self):
+        m = CpModel()
+        a = m.new_int(0, 9, "a")
+        b = m.new_int(0, 9, "b")
+        m.add_linear([(a, 1), (b, 1)], lo=6, hi=18)
+        m.minimize([(a, 3), (b, 1)])
+        sol = CpSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL and sol.objective == 6
+        d = sol.stats.as_dict()
+        for key in ("nodes", "propagations", "linear_props", "implication_props",
+                    "queue_peak", "time_propagate_s", "time_branch_s", "nodes_per_sec"):
+            assert key in d
+
+    def test_infeasible_still_carries_stats(self):
+        m = CpModel()
+        a = m.new_int(0, 2, "a")
+        m.add_sum_eq([(a, 1)], 9)
+        sol = CpSolver().solve(m)
+        assert sol.status is SolveStatus.INFEASIBLE
+        assert sol.stats is not None and sol.stats.wall_time_s >= 0
+
+    def test_node_budget_respected(self):
+        m = CpModel()
+        xs = [m.new_int(0, 10, f"x{i}") for i in range(20)]
+        m.add_sum_eq([(x, 1) for x in xs], 100)
+        m.minimize([(x, 1) for x in xs[:3]])
+        sol = CpSolver(time_limit_s=60.0, max_nodes=50).solve(m)
+        assert sol.nodes_explored <= 50
