@@ -6,12 +6,17 @@ Commands:
 - ``run MODEL [--device D]``    — compile + run one model under FlashMem,
                                   with optional baseline comparison.
 - ``plan MODEL [--out F]``      — solve the overlap plan and print/export it.
-- ``experiment NAME``           — regenerate one paper table/figure.
+- ``experiment NAME``           — regenerate one paper table/figure, or
+                                  ``all`` for the full suite; supports
+                                  ``--jobs N`` (parallel sweep) and a
+                                  persistent artifact cache
+                                  (``--cache-dir`` / ``--no-cache``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -60,7 +65,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the per-window CP solver statistics table")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    exp_p.add_argument("name", choices=EXPERIMENTS)
+    exp_p.add_argument("name", choices=EXPERIMENTS + ["all"],
+                       help='driver name, or "all" for the full suite')
+    exp_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (default 1 = serial)")
+    exp_p.add_argument("--cache-dir", default=None,
+                       help="persistent artifact cache directory "
+                            "(default: $REPRO_CACHE_DIR or .artifact-cache)")
+    exp_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent cache (cold-run measurement)")
+    exp_p.add_argument("--results-dir", default=None,
+                       help='write rendered outputs here (default: results/ for "all")')
     return parser
 
 
@@ -155,13 +170,29 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(name: str) -> int:
-    import importlib
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.sweep.suite import DEFAULT_CACHE_DIR, run_suite
 
-    module = importlib.import_module(f"repro.experiments.{name}")
-    result = module.run()
-    print(result.render())
-    return 0
+    names = EXPERIMENTS if args.name == "all" else [args.name]
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    )
+    results_dir = args.results_dir or ("results" if args.name == "all" else None)
+    report = run_suite(
+        names,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        results_dir=results_dir,
+        progress=print if args.name == "all" else None,
+    )
+    if args.name != "all":
+        text = report.text_for(args.name)
+        if text is not None:
+            print(text)
+    if report.written:
+        print(f"wrote {len(report.written)} rendered outputs to {results_dir}/")
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -173,7 +204,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "plan":
         return _cmd_plan(args)
     if args.command == "experiment":
-        return _cmd_experiment(args.name)
+        return _cmd_experiment(args)
     return 2
 
 

@@ -2,6 +2,17 @@
 
 from repro.core.config import FlashMemConfig
 from repro.core.flashmem import CompiledModel, FlashMem
-from repro.core.store import PlanStore, config_fingerprint
+from repro.core.store import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactStore,
+    PlanStore,
+    config_fingerprint,
+    flashmem_config_fingerprint,
+    stable_fingerprint,
+)
 
-__all__ = ["FlashMemConfig", "CompiledModel", "FlashMem", "PlanStore", "config_fingerprint"]
+__all__ = [
+    "FlashMemConfig", "CompiledModel", "FlashMem",
+    "ArtifactStore", "ARTIFACT_SCHEMA_VERSION", "PlanStore",
+    "config_fingerprint", "flashmem_config_fingerprint", "stable_fingerprint",
+]

@@ -1,31 +1,214 @@
-"""Plan store: persist and reuse overlap plans on disk.
+"""Artifact stores: persist and reuse offline compilation products on disk.
 
 The paper emphasises that LC-OPG runs *offline* and its plans are reusable
 deployment artifacts ("generating a reusable overlap plan that incurs no
-runtime overhead").  The store keys plans by (model, device, configuration
-fingerprint), so repeated launches skip the solver entirely — exactly the
-artifact flow a production deployment of FlashMem would ship.
+runtime overhead").  Two stores implement that flow:
+
+- :class:`ArtifactStore` — the general, content-addressed store behind the
+  experiment pipeline.  It persists arbitrary pickled artifacts (compiled
+  models, run results, rendered driver outputs) keyed by a structured key
+  dict; the path is derived from a digest of the key plus the artifact
+  schema version, so a schema bump or any key change addresses a fresh
+  entry.  Writes are atomic (unique tmp file + ``os.replace``) so racing
+  writers can never tear an entry, and unreadable entries are quarantined
+  to a ``.corrupt`` sibling instead of being silently re-missed forever.
+- :class:`PlanStore` — the original plan-only store, kept with its
+  human-readable ``model__device__fingerprint.json`` layout for plan
+  inspection and the ``plan`` CLI flow.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pathlib
-from dataclasses import asdict
-from typing import Optional
+import pickle
+import sys
+import warnings
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional
 
 from repro.opg.plan import OverlapPlan
 from repro.opg.problem import OpgConfig
 
+#: Version of the on-disk artifact format.  Bump whenever the pickled
+#: payload types change shape; old entries then simply address different
+#: paths and age out instead of being mis-loaded.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def _canonical_default(value):
+    """JSON fallback for key/fingerprint payloads: sets become sorted lists."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"unfingerprintable value of type {type(value).__name__}: {value!r}")
+
+
+def canonical_key(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Round-trip a key through canonical JSON (sorted, sets normalised)."""
+    return json.loads(json.dumps(payload, sort_keys=True, default=_canonical_default))
+
+
+def stable_fingerprint(payload: Mapping[str, Any]) -> str:
+    """Stable short hash of a JSON-able payload."""
+    blob = json.dumps(payload, sort_keys=True, default=_canonical_default).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
 
 def config_fingerprint(config: OpgConfig) -> str:
     """Stable short hash of the solver hyperparameters."""
-    payload = asdict(config)
-    payload["preload_hint_weights"] = sorted(payload["preload_hint_weights"])
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()[:16]
+    return stable_fingerprint(asdict(config))
+
+
+def flashmem_config_fingerprint(config) -> str:
+    """Stable short hash of a full :class:`FlashMemConfig` (OPG included)."""
+    return stable_fingerprint(asdict(config))
+
+
+def _sanitize(text: str) -> str:
+    return "".join(c if c.isalnum() or c in "-._" else "_" for c in text)
+
+
+@contextlib.contextmanager
+def _deep_recursion(limit: int = 20_000):
+    """Temporarily raise the recursion limit for (un)pickling.
+
+    Compiled-model graphs are node chains thousands of links deep (a
+    GPTN-2.7B ``CompiledModel`` needs ~2.1k frames), and the stock limit of
+    1000 is largely consumed already when saving from inside a driver under
+    pytest.  20k frames is ~10x the deepest evaluated model and far below
+    C-stack danger territory.
+    """
+    old = sys.getrecursionlimit()
+    if old < limit:
+        sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+def _atomic_write_bytes(path: pathlib.Path, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via a writer-unique tmp file + rename.
+
+    ``os.replace`` is atomic on POSIX, so concurrent writers of the same
+    entry race benignly: both succeed, the last rename wins, and a reader
+    never observes a torn file.  The pid-tagged tmp name keeps two
+    processes from clobbering each other's half-written temporaries.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+
+
+def _quarantine_artifact(path: pathlib.Path, reason: str, *, store: str) -> pathlib.Path:
+    """Move an unreadable artifact to a ``.corrupt`` sibling and warn."""
+    dest = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, dest)
+    except OSError:  # racing reader already quarantined it
+        pass
+    warnings.warn(
+        f"{store}: quarantined corrupt artifact {path.name} -> {dest.name} ({reason}); "
+        "it will be re-solved and re-saved once",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return dest
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt}
+
+    def delta_since(self, before: Mapping[str, int]) -> Dict[str, int]:
+        now = self.snapshot()
+        return {k: now[k] - before.get(k, 0) for k in now}
+
+
+class ArtifactStore:
+    """Content-addressed store of pickled experiment artifacts.
+
+    Keys are flat dicts that must include ``"kind"`` (the artifact family —
+    e.g. ``"flashmem-run"``); remaining fields identify the cell, typically
+    (model, device, config fingerprint).  The schema version participates in
+    the digest, so a format bump invalidates every old entry at once.
+
+    ``load`` verifies that the stored envelope echoes the requested key and
+    schema; any unreadable or mismatched entry is quarantined to a
+    ``.corrupt`` sibling (visible, re-solved once) rather than treated as a
+    permanent silent miss.  Storing ``None`` is indistinguishable from a
+    miss — encode absent results with a sentinel value instead.
+    """
+
+    def __init__(self, root, *, schema: int = ARTIFACT_SCHEMA_VERSION) -> None:
+        self.root = pathlib.Path(root)
+        self.schema = schema
+        self.stats = StoreStats()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ----------------------------------------------------------- addressing
+    def path_for(self, key: Mapping[str, Any]) -> pathlib.Path:
+        kind = key["kind"]
+        digest = stable_fingerprint({"schema": self.schema, **canonical_key(key)})
+        label = "__".join(
+            _sanitize(str(v)) for k, v in sorted(key.items())
+            if k != "kind" and isinstance(v, str)
+        )
+        name = f"{label[:80]}__{digest}.pkl" if label else f"{digest}.pkl"
+        return self.root / _sanitize(str(kind)) / name
+
+    def contains(self, key: Mapping[str, Any]) -> bool:
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------- load/save
+    def load(self, key: Mapping[str, Any]) -> Optional[Any]:
+        """Return the stored artifact, or None on miss/quarantine."""
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with open(path, "rb") as fh, _deep_recursion():
+                envelope = pickle.load(fh)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != self.schema
+                or envelope.get("key") != canonical_key(key)
+            ):
+                raise ValueError("artifact key/schema does not match its address")
+        except Exception as exc:  # pickle/EOF/attribute errors, bad envelope
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            _quarantine_artifact(path, f"{type(exc).__name__}: {exc}", store="ArtifactStore")
+            return None
+        self.stats.hits += 1
+        return envelope["value"]
+
+    def save(self, key: Mapping[str, Any], value: Any) -> pathlib.Path:
+        """Atomically persist ``value`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"schema": self.schema, "key": canonical_key(key), "value": value}
+        with _deep_recursion():
+            blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(path, blob)
+        self.stats.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
 
 
 class PlanStore:
@@ -36,32 +219,35 @@ class PlanStore:
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, model: str, device: str, config: OpgConfig) -> pathlib.Path:
-        safe = lambda s: "".join(c if c.isalnum() or c in "-._" else "_" for c in s)
-        name = f"{safe(model)}__{safe(device)}__{config_fingerprint(config)}.json"
+        name = f"{_sanitize(model)}__{_sanitize(device)}__{config_fingerprint(config)}.json"
         return self.root / name
 
     def load(self, model: str, device: str, config: OpgConfig) -> Optional[OverlapPlan]:
-        """Return the stored plan, or None when absent or unreadable."""
+        """Return the stored plan, or None when absent or quarantined.
+
+        A corrupt artifact is renamed to a ``.corrupt`` sibling with a
+        warning, so it is re-solved exactly once instead of being re-parsed
+        (and silently missed) on every launch.
+        """
         path = self._path(model, device, config)
         if not path.exists():
             return None
         try:
             return OverlapPlan.from_json(path.read_text())
-        except (ValueError, KeyError, TypeError):
-            return None  # corrupt artifact: treat as a miss
+        except (ValueError, KeyError, TypeError) as exc:
+            _quarantine_artifact(path, f"{type(exc).__name__}: {exc}", store="PlanStore")
+            return None
 
     def save(self, plan: OverlapPlan, config: OpgConfig) -> pathlib.Path:
         """Atomically persist the plan.
 
-        Writes to a ``.tmp`` sibling and ``os.replace``s into place, so a
-        crash mid-write can never leave a truncated artifact that ``load``
-        would silently treat as a miss forever (the ``.tmp`` suffix also
-        keeps partial writes out of :meth:`entries`' ``*.json`` glob).
+        Writes to a writer-unique ``.tmp`` sibling and ``os.replace``s into
+        place, so a crash mid-write can never leave a truncated artifact
+        (the ``.tmp`` suffix also keeps partial writes out of
+        :meth:`entries`' ``*.json`` glob).
         """
         path = self._path(plan.model, plan.device, config)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(plan.to_json())
-        os.replace(tmp, path)
+        _atomic_write_bytes(path, plan.to_json().encode())
         return path
 
     def get_or_solve(self, graph, capacity_model, config: OpgConfig, *, device_name: str) -> OverlapPlan:

@@ -1,18 +1,29 @@
 """Shared infrastructure for the experiment drivers.
 
 All drivers use one standard experiment configuration (solver budgets sized
-for repeated runs) and a process-level cache so Table 7, Table 8, Table 9,
-and Figure 10 reuse each (model, device) compilation instead of re-solving.
+for repeated runs) and two cache layers so Table 7, Table 8, Table 9, and
+Figure 10 reuse each (model, device) compilation instead of re-solving:
+
+- an in-process ``lru_cache`` layer (always on, exactly the seed behavior);
+- an optional persistent :class:`~repro.core.store.ArtifactStore` layer,
+  enabled via :func:`configure_cache`, that survives across processes —
+  sweep workers and repeated CLI invocations load each other's compiled
+  models and run results instead of re-solving.
+
+Keys carry (model, device, config fingerprint) and the artifact schema
+version, so a config or format change addresses fresh entries.
 """
 
 from __future__ import annotations
 
+import pathlib
 from functools import lru_cache
-from typing import Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.capacity.model import LoadCapacityModel, analytic_capacity_model
 from repro.core.config import FlashMemConfig
 from repro.core.flashmem import CompiledModel, FlashMem
+from repro.core.store import ArtifactStore, flashmem_config_fingerprint
 from repro.gpusim.device import get_device
 from repro.gpusim.timeline import RunResult
 from repro.graph.dag import Graph
@@ -24,6 +35,14 @@ from repro.runtime.preload import ModelNotSupportedError, PreloadExecutor
 
 #: Default evaluation device (the paper's primary target).
 DEFAULT_DEVICE = "OnePlus 12"
+
+#: Stored in place of a result for (framework, model) pairs the framework
+#: does not support — ``ArtifactStore`` cannot distinguish a stored None
+#: from a miss.
+_UNSUPPORTED = "__model-not-supported__"
+
+#: The persistent artifact store, or None (in-process caching only).
+_STORE: Optional[ArtifactStore] = None
 
 
 def experiment_opg_config(**overrides) -> OpgConfig:
@@ -37,6 +56,71 @@ def experiment_flashmem_config(**opg_overrides) -> FlashMemConfig:
     return FlashMemConfig(opg=experiment_opg_config(**opg_overrides))
 
 
+# --------------------------------------------------------- persistent layer
+def configure_cache(cache_dir: Union[str, pathlib.Path, None]) -> Optional[ArtifactStore]:
+    """Point the persistent artifact cache at ``cache_dir`` (None disables).
+
+    Returns the active store.  The in-process ``lru_cache`` layer is
+    unaffected: values computed under any store configuration are identical
+    for identical keys.
+    """
+    global _STORE
+    _STORE = ArtifactStore(cache_dir) if cache_dir is not None else None
+    return _STORE
+
+
+def cache_store() -> Optional[ArtifactStore]:
+    """The active persistent store, or None when disabled."""
+    return _STORE
+
+
+def swap_store(store: Optional[ArtifactStore]) -> Optional[ArtifactStore]:
+    """Install ``store`` (may be None) and return the previous one.
+
+    The inline sweep path uses this to scope its cache configuration to one
+    run instead of leaking it into the calling process.
+    """
+    global _STORE
+    previous = _STORE
+    _STORE = store
+    return previous
+
+
+def cache_stats() -> Dict[str, int]:
+    """Persistent-store counters (all zero when the store is disabled)."""
+    return _STORE.stats.snapshot() if _STORE else {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+
+
+def experiment_config_fingerprint() -> str:
+    """Fingerprint of the standard experiment configuration."""
+    return flashmem_config_fingerprint(experiment_flashmem_config())
+
+
+def _store_load(key: Dict[str, Any]) -> Optional[Any]:
+    return _STORE.load(key) if _STORE is not None else None
+
+
+def _store_save(key: Dict[str, Any], value: Any) -> None:
+    if _STORE is not None:
+        _STORE.save(key, value)
+
+
+def compile_key(model: str, device_name: str) -> Dict[str, Any]:
+    return {"kind": "compiled", "model": model, "device": device_name,
+            "config": experiment_config_fingerprint()}
+
+
+def flashmem_run_key(model: str, device_name: str, iterations: int) -> Dict[str, Any]:
+    return {"kind": "flashmem-run", "model": model, "device": device_name,
+            "iterations": iterations, "config": experiment_config_fingerprint()}
+
+
+def framework_run_key(framework: str, model: str, device_name: str, iterations: int) -> Dict[str, Any]:
+    return {"kind": "framework-run", "framework": framework, "model": model,
+            "device": device_name, "iterations": iterations}
+
+
+# ------------------------------------------------------------ cached cells
 @lru_cache(maxsize=64)
 def cached_graph(model: str) -> Graph:
     return load_model(model)
@@ -50,17 +134,29 @@ def cached_capacity(device_name: str) -> LoadCapacityModel:
 @lru_cache(maxsize=64)
 def cached_compile(model: str, device_name: str) -> CompiledModel:
     """Full-pipeline FlashMem compilation, cached per (model, device)."""
+    key = compile_key(model, device_name)
+    stored = _store_load(key)
+    if stored is not None:
+        return stored
     fm = FlashMem(experiment_flashmem_config())
-    return fm.compile(
+    compiled = fm.compile(
         cached_graph(model), get_device(device_name), capacity=cached_capacity(device_name)
     )
+    _store_save(key, compiled)
+    return compiled
 
 
 @lru_cache(maxsize=256)
 def flashmem_result(model: str, device_name: str, iterations: int = 1) -> RunResult:
     """Cached FlashMem run."""
+    key = flashmem_run_key(model, device_name, iterations)
+    stored = _store_load(key)
+    if stored is not None:
+        return stored
     fm = FlashMem(experiment_flashmem_config())
-    return fm.run(cached_compile(model, device_name), iterations=iterations)
+    result = fm.run(cached_compile(model, device_name), iterations=iterations)
+    _store_save(key, result)
+    return result
 
 
 @lru_cache(maxsize=512)
@@ -73,17 +169,26 @@ def framework_result(
     included); SmartMem — whose contribution is layout-transformation
     elimination — runs the layout-eliminated graph, like FlashMem.
     """
+    key = framework_run_key(framework, model, device_name, iterations)
+    stored = _store_load(key)
+    if stored is not None:
+        return None if stored == _UNSUPPORTED else stored
     profile = get_profile(framework)
     graph = cached_graph(model)
     if framework == "SMem":
         graph = eliminate_layout_ops(graph)
     try:
-        return PreloadExecutor(profile, get_device(device_name)).run(graph, iterations=iterations)
+        result: Optional[RunResult] = PreloadExecutor(profile, get_device(device_name)).run(
+            graph, iterations=iterations
+        )
     except ModelNotSupportedError:
-        return None
+        result = None
+    _store_save(key, _UNSUPPORTED if result is None else result)
+    return result
 
 
 def clear_caches() -> None:
-    """Drop all cached compilations/results (tests use this for isolation)."""
+    """Drop all in-process cached compilations/results (tests use this for
+    isolation).  The persistent store, if configured, is untouched."""
     for fn in (cached_graph, cached_capacity, cached_compile, flashmem_result, framework_result):
         fn.cache_clear()

@@ -44,6 +44,7 @@ class Simulation:
         self.tm = MemoryPool("texture")
         self.phases = Phases()
         self._deltas: List[Tuple[float, int]] = []
+        self._timeline: Optional[Tuple[int, MemoryTimeline]] = None
         self._finished: Optional[RunResult] = None
 
     # ------------------------------------------------------------- memory ops
@@ -76,12 +77,21 @@ class Simulation:
             self.free_tm(name, time_ms)
 
     def build_timeline(self) -> MemoryTimeline:
-        """Integrate the delta log into a chronological step function."""
+        """Integrate the delta log into a chronological step function.
+
+        The integration sorts the full delta log, so it is memoised on the
+        log length: ``oom`` and ``finish`` (and repeated OOM probes) share
+        one timeline instead of re-sorting per call.  Any new delta
+        invalidates the memo.
+        """
+        if self._timeline is not None and self._timeline[0] == len(self._deltas):
+            return self._timeline[1]
         timeline = MemoryTimeline()
         total = 0
         for time_ms, delta in sorted(self._deltas, key=lambda d: d[0]):
             total += delta
             timeline.record(time_ms, total)
+        self._timeline = (len(self._deltas), timeline)
         return timeline
 
     @property

@@ -1,0 +1,20 @@
+"""Sweep subsystem: parallel, cache-warm execution of the experiment suite.
+
+The paper's LC-OPG plans are offline, reusable deployment artifacts; this
+package makes the whole reproduction pipeline behave the same way.  A
+:class:`~repro.sweep.runner.SweepRunner` fans independent (model, device,
+runtime) cells and experiment drivers out across worker processes, every
+worker shares one persistent :class:`~repro.core.store.ArtifactStore`, and
+:func:`~repro.sweep.suite.run_suite` orchestrates the two phases behind
+``python -m repro experiment all --jobs N --cache-dir D``.
+"""
+
+from repro.sweep.cells import Cell, driver_cells, primitive_cells
+from repro.sweep.runner import CellOutcome, SweepReport, SweepRunner
+from repro.sweep.suite import SuiteReport, run_suite
+
+__all__ = [
+    "Cell", "driver_cells", "primitive_cells",
+    "CellOutcome", "SweepReport", "SweepRunner",
+    "SuiteReport", "run_suite",
+]

@@ -1,0 +1,109 @@
+"""Sweep cells: the independent units the runner fans out across workers.
+
+Two granularities, matching the two cache layers:
+
+- **primitive cells** — one (model, device, runtime) simulation each, the
+  shared substrate of the evaluation drivers (Table 7/8/9, Figures 6/9/10,
+  preemption).  Warming these first dedups cross-driver work: Table 7 and
+  Table 8, for example, consume the exact same 77 runs.
+- **driver cells** — one experiment driver each, returning its rendered
+  table/figure text.  Drivers with bespoke configurations (ablations,
+  Figure 7 variants, Table 4 scaling set) only exist at this granularity.
+
+The registry below declares which primitive cells each driver consumes, by
+importing the driver modules' own model/device constants — it cannot drift
+silently when a driver's model list changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+from repro.experiments import fig6, fig7, fig9, fig10, preemption, table1, table9
+from repro.experiments.common import DEFAULT_DEVICE
+from repro.graph.models import EVALUATED_MODELS
+from repro.runtime.frameworks import BASELINE_ORDER
+
+#: Runtime label for the FlashMem pipeline itself (vs framework baselines).
+FLASHMEM = "FlashMem"
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """One schedulable unit of sweep work.
+
+    ``kind`` is ``"flashmem"`` / ``"framework"`` (primitive simulations) or
+    ``"driver"`` (a whole experiment driver).  For primitives ``name`` is
+    the model and ``runtime`` the executing framework; for drivers ``name``
+    is the driver module name.
+    """
+
+    kind: str
+    name: str
+    device: str = ""
+    runtime: str = ""
+
+    def label(self) -> str:
+        if self.kind == "driver":
+            return f"driver:{self.name}"
+        return f"{self.runtime}:{self.name}@{self.device}"
+
+
+def _flashmem(model: str, device: str = DEFAULT_DEVICE) -> Cell:
+    return Cell("flashmem", model, device, FLASHMEM)
+
+
+def _framework(runtime: str, model: str, device: str = DEFAULT_DEVICE) -> Cell:
+    return Cell("framework", model, device, runtime)
+
+
+def _full_grid(models: Iterable[str]) -> Set[Cell]:
+    cells: Set[Cell] = set()
+    for model in models:
+        cells.add(_flashmem(model))
+        cells.update(_framework(fw, model) for fw in BASELINE_ORDER)
+    return cells
+
+
+def _registry() -> Dict[str, Set[Cell]]:
+    grid = _full_grid(EVALUATED_MODELS)
+    reg: Dict[str, Set[Cell]] = {
+        "table1": {_framework("MNN", m) for m in table1.MODELS},
+        "table7": set(grid),
+        "table8": set(grid),
+        "table9": {_flashmem(m) for m in table9.MODELS}
+        | {_framework(fw, m) for m in table9.MODELS for fw in table9.FRAMEWORKS},
+        "fig6": {_flashmem(m) for m in fig6.MODELS}
+        | {_framework("MNN", m) for m in fig6.MODELS},
+        "fig9": {_flashmem(m) for m in fig9.MODELS},
+        "fig10": {
+            cell
+            for device in fig10.DEVICES
+            for model in fig10.MODELS
+            for cell in (_flashmem(model, device), _framework("SMem", model, device))
+        },
+        "preemption": {
+            cell
+            for model in (preemption.VICTIM, preemption.URGENT)
+            for cell in (_flashmem(model), _framework("SMem", model))
+        },
+        # fig7 builds its FlashMem variants under bespoke configs; only its
+        # SmartMem reference runs are shared primitives.
+        "fig7": {_framework("SMem", m) for m in fig7.MODELS},
+    }
+    return reg
+
+
+def primitive_cells(driver_names: Iterable[str]) -> List[Cell]:
+    """Deduplicated primitive cells the named drivers consume, heavy
+    (FlashMem compile) cells first so the pool packs them well."""
+    reg = _registry()
+    cells: Set[Cell] = set()
+    for name in driver_names:
+        cells.update(reg.get(name, ()))
+    return sorted(cells, key=lambda c: (c.kind != "flashmem", c))
+
+
+def driver_cells(driver_names: Iterable[str]) -> List[Cell]:
+    return [Cell("driver", name) for name in driver_names]

@@ -1,0 +1,217 @@
+"""Process-pool sweep runner with deterministic merging.
+
+Cells are executed across ``jobs`` worker processes (inline when
+``jobs=1``), every worker sharing one persistent artifact store configured
+by a pool initializer.  The runner records per-cell wall time and
+store-counter deltas, captures failures without aborting the sweep, and
+merges outcomes in sorted cell order so the report is independent of
+completion order.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.sweep.cells import Cell
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: timing, cache traffic, failure, output."""
+
+    cell: Cell
+    ok: bool
+    wall_s: float
+    cache_hit: bool = False
+    store_delta: Dict[str, int] = field(default_factory=dict)
+    error: str = ""
+    #: Rendered table/figure text for ``driver`` cells.
+    text: Optional[str] = None
+
+
+def _driver_render_key(name: str) -> Dict[str, str]:
+    from repro.experiments.common import experiment_config_fingerprint
+
+    return {"kind": "driver-render", "name": name,
+            "config": experiment_config_fingerprint()}
+
+
+def _run_driver(name: str) -> tuple:
+    """Render one driver, consulting the persistent store first.
+
+    Driver renders are cached whole — including wall-clock-derived fields
+    like Table 4 solve times — which is what makes a warm ``experiment all``
+    rerun byte-for-byte identical to the cold run that populated the store.
+    """
+    from repro.experiments import common
+
+    store = common.cache_store()
+    key = _driver_render_key(name)
+    if store is not None:
+        stored = store.load(key)
+        if stored is not None:
+            return stored["text"], True
+    module = importlib.import_module(f"repro.experiments.{name}")
+    text = module.run().render()
+    if store is not None:
+        store.save(key, {"text": text})
+    return text, False
+
+
+def _execute_cell(cell: Cell) -> CellOutcome:
+    """Run one cell in the current process (worker or inline)."""
+    from repro.experiments import common
+
+    store = common.cache_store()
+    before = store.stats.snapshot() if store is not None else {}
+    start = time.perf_counter()
+    text: Optional[str] = None
+    cache_hit = False
+    try:
+        if cell.kind == "flashmem":
+            cache_hit = bool(store and store.contains(
+                common.flashmem_run_key(cell.name, cell.device, 1)))
+            common.flashmem_result(cell.name, cell.device)
+        elif cell.kind == "framework":
+            cache_hit = bool(store and store.contains(
+                common.framework_run_key(cell.runtime, cell.name, cell.device, 1)))
+            common.framework_result(cell.runtime, cell.name, cell.device)
+        elif cell.kind == "driver":
+            text, cache_hit = _run_driver(cell.name)
+        else:
+            raise ValueError(f"unknown cell kind {cell.kind!r}")
+        ok, error = True, ""
+    except Exception as exc:  # noqa: BLE001 — a failed cell must not kill the sweep
+        ok, error = False, f"{type(exc).__name__}: {exc}"
+    wall = time.perf_counter() - start
+    delta = store.stats.delta_since(before) if store is not None else {}
+    return CellOutcome(cell=cell, ok=ok, wall_s=wall, cache_hit=cache_hit,
+                       store_delta=delta, error=error, text=text)
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    from repro.experiments.common import configure_cache
+
+    configure_cache(cache_dir)
+
+
+@dataclass
+class SweepReport:
+    """Deterministically merged outcomes of one sweep."""
+
+    outcomes: List[CellOutcome]
+    jobs: int
+    cache_dir: Optional[str]
+    wall_s: float
+
+    @property
+    def failures(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    def store_totals(self) -> Dict[str, int]:
+        totals = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+        for outcome in self.outcomes:
+            for k in totals:
+                totals[k] += outcome.store_delta.get(k, 0)
+        return totals
+
+    def cache_line(self) -> str:
+        """One-line cache-traffic summary for the CLI output."""
+        if self.cache_dir is None:
+            return "cache: disabled (--no-cache)"
+        t = self.store_totals()
+        return (f"cache: {t['hits']} hits, {t['misses']} misses, {t['stores']} stored"
+                + (f", {t['corrupt']} quarantined" if t["corrupt"] else "")
+                + f" (dir {self.cache_dir})")
+
+    def render(self) -> str:
+        lines = [f"sweep: {len(self.outcomes)} cells, {self.jobs} job(s), "
+                 f"{self.wall_s:.1f}s wall, {len(self.failures)} failed"]
+        for o in self.outcomes:
+            status = "ok " if o.ok else "FAIL"
+            hit = " [cached]" if o.cache_hit else ""
+            lines.append(f"  {status} {o.cell.label():40s} {o.wall_s:7.2f}s{hit}"
+                         + (f"  {o.error}" if o.error else ""))
+        lines.append(self.cache_line())
+        return "\n".join(lines)
+
+
+class SweepRunner:
+    """Fan cells out over a process pool sharing one persistent store."""
+
+    def __init__(self, *, jobs: int = 1, cache_dir: Optional[PathLike] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        *,
+        progress: Optional[Callable[[CellOutcome, int, int], None]] = None,
+    ) -> SweepReport:
+        """Execute ``cells``; a raising cell is reported, never fatal.
+
+        ``progress`` is invoked as cells complete (completion order); the
+        report itself is merged in sorted cell order.
+        """
+        start = time.perf_counter()
+        outcomes: List[CellOutcome] = []
+        done = 0
+        if self.jobs == 1 or len(cells) <= 1:
+            from repro.core.store import ArtifactStore
+            from repro.experiments.common import swap_store
+
+            store = ArtifactStore(self.cache_dir) if self.cache_dir is not None else None
+            previous = swap_store(store)
+            try:
+                for cell in cells:
+                    outcome = _execute_cell(cell)
+                    outcomes.append(outcome)
+                    done += 1
+                    if progress:
+                        progress(outcome, done, len(cells))
+            finally:
+                swap_store(previous)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, max(1, len(cells))),
+                initializer=_worker_init,
+                initargs=(self.cache_dir,),
+            ) as pool:
+                pending = {pool.submit(_execute_cell, cell): cell for cell in cells}
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        cell = pending.pop(future)
+                        exc = future.exception()
+                        if exc is not None:  # worker died (not a cell error)
+                            outcome = CellOutcome(
+                                cell=cell, ok=False, wall_s=0.0,
+                                error=f"worker failure: {type(exc).__name__}: {exc}",
+                            )
+                        else:
+                            outcome = future.result()
+                        outcomes.append(outcome)
+                        done += 1
+                        if progress:
+                            progress(outcome, done, len(cells))
+        outcomes.sort(key=lambda o: o.cell)
+        return SweepReport(
+            outcomes=outcomes,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            wall_s=time.perf_counter() - start,
+        )

@@ -1,0 +1,151 @@
+"""Suite orchestration behind ``python -m repro experiment all``.
+
+Two phases, both riding the same persistent artifact store:
+
+1. **warm** — the deduplicated primitive (model, device, runtime) cells the
+   requested drivers share are fanned out across the pool, populating the
+   store (skipped when caching is off — worker results could not be shared
+   — or when running serially, where warming would just reorder the work).
+2. **render** — the drivers themselves run (also fanned out when
+   ``jobs > 1``), loading the warm primitives, and their rendered text is
+   written under ``results/`` in deterministic driver order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.sweep.cells import driver_cells, primitive_cells
+from repro.sweep.runner import SweepReport, SweepRunner
+
+#: Default persistent cache location (CLI: overridable via --cache-dir or
+#: the REPRO_CACHE_DIR environment variable; --no-cache disables).
+DEFAULT_CACHE_DIR = ".artifact-cache"
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class SuiteReport:
+    """Outcome of one suite invocation."""
+
+    names: List[str]
+    drivers: SweepReport
+    primitives: Optional[SweepReport]
+    written: List[Path]
+    wall_s: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.drivers.failures
+
+    def text_for(self, name: str) -> Optional[str]:
+        for outcome in self.drivers.outcomes:
+            if outcome.cell.name == name:
+                return outcome.text
+        return None
+
+    def store_totals(self) -> Dict[str, int]:
+        totals = self.drivers.store_totals()
+        if self.primitives is not None:
+            for k, v in self.primitives.store_totals().items():
+                totals[k] = totals.get(k, 0) + v
+        return totals
+
+    def cache_line(self) -> str:
+        if self.drivers.cache_dir is None:
+            return "cache: disabled (--no-cache)"
+        t = self.store_totals()
+        return (f"cache: {t['hits']} hits, {t['misses']} misses, {t['stores']} stored"
+                + (f", {t['corrupt']} quarantined" if t["corrupt"] else "")
+                + f" (dir {self.drivers.cache_dir})")
+
+    def summary(self) -> str:
+        """Per-driver status lines plus the sweep cache-stats line."""
+        by_name = {o.cell.name: o for o in self.drivers.outcomes}
+        lines = []
+        for name in self.names:
+            o = by_name[name]
+            status = "ok  " if o.ok else "FAIL"
+            hit = " [cached]" if o.cache_hit else ""
+            lines.append(f"  {status} {name:20s} {o.wall_s:7.2f}s{hit}"
+                         + (f"  {o.error}" if o.error else ""))
+        if self.primitives is not None:
+            prim = self.primitives
+            lines.append(
+                f"warm phase: {len(prim.outcomes)} primitive cells, "
+                f"{prim.cache_hits} cached, {len(prim.failures)} failed, "
+                f"{prim.wall_s:.1f}s wall"
+            )
+        lines.append(
+            f"suite: {len(self.names)} drivers, {len(self.drivers.failures)} failed, "
+            f"{self.wall_s:.1f}s wall, {self.drivers.jobs} job(s)"
+        )
+        lines.append(self.cache_line())
+        return "\n".join(lines)
+
+
+def run_suite(
+    names: Sequence[str],
+    *,
+    jobs: int = 1,
+    cache_dir: Union[str, Path, None] = None,
+    results_dir: Union[str, Path, None] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SuiteReport:
+    """Run experiment drivers ``names``, optionally parallel and cache-warm.
+
+    A failing driver (or primitive cell) is reported in the returned
+    :class:`SuiteReport` and the suite continues.  When ``results_dir`` is
+    given, each successful driver's rendered text is written there as
+    ``<name>.txt`` (same format as the benchmarks), in driver order.
+    """
+    say = progress or (lambda _line: None)
+    start = time.perf_counter()
+
+    prim_report: Optional[SweepReport] = None
+    if cache_dir is not None and jobs > 1:
+        cells = primitive_cells(names)
+        if cells:
+            say(f"warming {len(cells)} primitive cells across {jobs} jobs ...")
+            prim_report = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(
+                cells,
+                progress=lambda o, done, total: say(
+                    f"  [{done}/{total}] {o.cell.label()} {o.wall_s:.2f}s"
+                    + (" [cached]" if o.cache_hit else "")
+                    + ("" if o.ok else f" FAILED: {o.error}")
+                ),
+            )
+
+    say(f"running {len(names)} drivers ...")
+    driver_report = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(
+        driver_cells(names),
+        progress=lambda o, done, total: say(
+            f"  [{done}/{total}] {o.cell.name} {o.wall_s:.2f}s"
+            + (" [cached]" if o.cache_hit else "")
+            + ("" if o.ok else f" FAILED: {o.error}")
+        ),
+    )
+
+    written: List[Path] = []
+    if results_dir is not None:
+        out_dir = Path(results_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        by_name = {o.cell.name: o for o in driver_report.outcomes}
+        for name in names:
+            outcome = by_name[name]
+            if outcome.ok and outcome.text is not None:
+                path = out_dir / f"{name}.txt"
+                path.write_text(outcome.text + "\n")
+                written.append(path)
+
+    return SuiteReport(
+        names=list(names),
+        drivers=driver_report,
+        primitives=prim_report,
+        written=written,
+        wall_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,106 @@
+"""Tests for the content-addressed artifact store."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.core.store import ARTIFACT_SCHEMA_VERSION, ArtifactStore, stable_fingerprint
+
+KEY = {"kind": "flashmem-run", "model": "ViT", "device": "OnePlus 12", "config": "abc"}
+
+
+class TestAddressing:
+    def test_fingerprint_stable_and_sensitive(self):
+        assert stable_fingerprint({"a": 1}) == stable_fingerprint({"a": 1})
+        assert stable_fingerprint({"a": 1}) != stable_fingerprint({"a": 2})
+        # Sets are canonicalised, so insertion order is irrelevant.
+        assert stable_fingerprint({"s": {"x", "y"}}) == stable_fingerprint({"s": {"y", "x"}})
+
+    def test_paths_partition_by_kind_and_key(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        a = store.path_for(KEY)
+        b = store.path_for({**KEY, "model": "ResNet50"})
+        c = store.path_for({**KEY, "kind": "compiled"})
+        assert a.parent.name == "flashmem-run"
+        assert c.parent.name == "compiled"
+        assert len({a, b, c}) == 3
+
+    def test_schema_version_addresses_fresh_entries(self, tmp_path):
+        old = ArtifactStore(tmp_path, schema=ARTIFACT_SCHEMA_VERSION)
+        new = ArtifactStore(tmp_path, schema=ARTIFACT_SCHEMA_VERSION + 1)
+        old.save(KEY, {"v": 1})
+        assert new.load(KEY) is None  # plain miss, not a quarantine
+        assert new.stats.corrupt == 0
+
+
+class TestRoundTrip:
+    def test_miss_then_hit_bit_for_bit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        value = {"latency": 123.456789, "samples": [(0.0, 0), (1.5, 2**31)]}
+        assert store.load(KEY) is None
+        store.save(KEY, value)
+        loaded = ArtifactStore(tmp_path).load(KEY)  # fresh instance = fresh process view
+        assert pickle.dumps(loaded) == pickle.dumps(value)
+        assert store.stats.snapshot() == {"hits": 0, "misses": 1, "stores": 1, "corrupt": 0}
+
+    def test_atomic_save_leaves_no_tmp(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(KEY, list(range(100)))
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_contains(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert not store.contains(KEY)
+        store.save(KEY, 1)
+        assert store.contains(KEY)
+        assert len(store) == 1
+
+
+class TestQuarantine:
+    def test_corrupt_entry_quarantined_with_warning(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.save(KEY, {"v": 1})
+        path.write_bytes(b"not a pickle")
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt artifact"):
+            assert store.load(KEY) is None
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert store.stats.corrupt == 1
+        # Re-saving works and the entry is readable again.
+        store.save(KEY, {"v": 2})
+        assert store.load(KEY) == {"v": 2}
+
+    def test_key_mismatch_is_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A validly pickled envelope whose key does not match its address.
+        path.write_bytes(pickle.dumps({"schema": store.schema, "key": {"kind": "other"},
+                                       "value": 42}))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load(KEY) is None
+        assert store.stats.corrupt == 1
+
+
+def _hammer_store(root, worker_id, iterations):
+    store = ArtifactStore(root)
+    for i in range(iterations):
+        store.save(KEY, {"worker": worker_id, "i": i, "pad": list(range(500))})
+
+
+class TestConcurrency:
+    def test_racing_writers_never_corrupt(self, tmp_path):
+        """Two processes hammering the same key: the entry always loads."""
+        procs = [
+            multiprocessing.Process(target=_hammer_store, args=(tmp_path, w, 50))
+            for w in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        loaded = ArtifactStore(tmp_path).load(KEY)
+        assert loaded is not None and loaded["worker"] in (0, 1) and loaded["i"] == 49
+        assert not list(tmp_path.rglob("*.corrupt"))

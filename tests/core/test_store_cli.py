@@ -67,7 +67,7 @@ class TestPlanStore:
         store.get_or_solve(graph, capacity, other, device_name="OnePlus 12")
         assert len(store.entries()) == 2
 
-    def test_corrupt_artifact_is_miss(self, tmp_path):
+    def test_corrupt_artifact_quarantined(self, tmp_path):
         store = PlanStore(tmp_path)
         capacity = analytic_capacity_model(oneplus_12())
         graph = _model()
@@ -75,7 +75,17 @@ class TestPlanStore:
             store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12"), FAST
         )
         path.write_text(json.dumps({"nonsense": True}))
-        assert store.load(graph.name, "OnePlus 12", FAST) is None
+        # Corrupt artifact: a miss, but quarantined visibly — not silently
+        # re-parsed (and re-missed) on every subsequent launch.
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt artifact"):
+            assert store.load(graph.name, "OnePlus 12", FAST) is None
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert store.entries() == []  # quarantined files leave the entry listing
+        # The next get_or_solve re-solves once and persists a fresh artifact.
+        plan = store.get_or_solve(graph, capacity, FAST, device_name="OnePlus 12")
+        assert store.load(graph.name, "OnePlus 12", FAST) is not None
+        assert plan.model == graph.name
 
     def test_weird_names_sanitized(self, tmp_path):
         store = PlanStore(tmp_path)
@@ -140,9 +150,35 @@ class TestCli:
         assert code == 0
         assert "Solver stats" in capsys.readouterr().out
 
-    def test_experiment_command(self, capsys):
-        assert cli_main(["experiment", "table5"]) == 0
-        assert "Table 5" in capsys.readouterr().out
+    def test_experiment_command(self, capsys, tmp_path):
+        assert cli_main(["experiment", "table5", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "cache:" in out and "1 stored" in out
+
+    def test_experiment_warm_rerun_hits_cache(self, capsys, tmp_path):
+        assert cli_main(["experiment", "table5", "--cache-dir", str(tmp_path)]) == 0
+        first = capsys.readouterr().out
+        assert cli_main(["experiment", "table5", "--cache-dir", str(tmp_path)]) == 0
+        second = capsys.readouterr().out
+        assert "[cached]" in second and "1 hits" in second
+        # The rendered table itself is byte-for-byte identical.
+        assert first.split("\n\n")[0] == second.split("\n\n")[0]
+
+    def test_experiment_no_cache_bypasses_store(self, capsys, tmp_path):
+        code = cli_main(["experiment", "table5", "--no-cache",
+                         "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache: disabled (--no-cache)" in out
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_experiment_results_dir(self, capsys, tmp_path):
+        out_dir = tmp_path / "out"
+        code = cli_main(["experiment", "table5", "--no-cache",
+                         "--results-dir", str(out_dir)])
+        assert code == 0
+        assert "Table 5" in (out_dir / "table5.txt").read_text()
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

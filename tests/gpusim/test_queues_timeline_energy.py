@@ -170,6 +170,20 @@ class TestSimulation:
         sim.alloc_um("big", 10_000, 0.0)
         assert sim.oom is not None
 
+    def test_timeline_memoized_until_new_delta(self):
+        sim = Simulation(oneplus_12(), model="m", runtime="r")
+        sim.alloc_um("w", 1000, 0.0)
+        first = sim.build_timeline()
+        # oom probes and finish reuse the integrated timeline ...
+        assert sim.build_timeline() is first
+        assert sim.oom is None
+        assert sim.finish().memory is first
+        # ... and any new delta invalidates the memo.
+        sim.alloc_um("w2", 500, 1.0)
+        rebuilt = sim.build_timeline()
+        assert rebuilt is not first
+        assert rebuilt.peak_bytes == 1500
+
     def test_finish_builds_result(self):
         sim = Simulation(oneplus_12(), model="m", runtime="r")
         sim.queues.gpu.submit("k", 42.0)
