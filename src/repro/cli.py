@@ -11,6 +11,12 @@ Commands:
                                   ``--jobs N`` (parallel sweep) and a
                                   persistent artifact cache
                                   (``--cache-dir`` / ``--no-cache``).
+- ``profile compile MODEL DEVICE`` — run one compile under cProfile and
+                                  print the top cumulative-time hotspots
+                                  (offline-compile performance triage).
+
+Device arguments accept normalized aliases ("oneplus12", "pixel8", any
+case/spacing) in addition to the exact marketing names.
 """
 
 from __future__ import annotations
@@ -44,7 +50,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="compile + run a model under FlashMem")
     run_p.add_argument("model", choices=sorted(ALL_CARDS))
-    run_p.add_argument("--device", default="OnePlus 12", choices=sorted(DEVICE_PRESETS))
+    run_p.add_argument("--device", default="OnePlus 12",
+                       help="device preset name or alias (e.g. 'oneplus12')")
     run_p.add_argument("--iterations", type=int, default=1)
     run_p.add_argument("--preload-ratio", type=float, default=None,
                        help="force a preload fraction (Figure 8 knob)")
@@ -58,11 +65,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
     plan_p = sub.add_parser("plan", help="solve and inspect an overlap plan")
     plan_p.add_argument("model", choices=sorted(ALL_CARDS))
-    plan_p.add_argument("--device", default="OnePlus 12", choices=sorted(DEVICE_PRESETS))
+    plan_p.add_argument("--device", default="OnePlus 12",
+                       help="device preset name or alias (e.g. 'oneplus12')")
     plan_p.add_argument("--time-limit", type=float, default=5.0)
     plan_p.add_argument("--out", default=None, help="write the plan JSON here")
     plan_p.add_argument("--solver-stats", action="store_true",
                        help="print the per-window CP solver statistics table")
+
+    prof_p = sub.add_parser("profile", help="profile an offline pipeline stage")
+    prof_sub = prof_p.add_subparsers(dest="profile_what", required=True)
+    prof_compile = prof_sub.add_parser(
+        "compile", help="cProfile one FlashMem.compile and print hotspots"
+    )
+    prof_compile.add_argument("model", choices=sorted(ALL_CARDS))
+    prof_compile.add_argument("device", help="device preset name or alias")
+    prof_compile.add_argument("--top", type=int, default=25,
+                              help="number of hotspot rows to print (default 25)")
+    prof_compile.add_argument("--time-limit", type=float, default=5.0,
+                              help="LC-OPG solver budget in seconds")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS + ["all"],
@@ -97,12 +117,16 @@ def _print_solver_stats(plan) -> None:
     """Per-window CP solver observability table (``--solver-stats``)."""
     stats = plan.stats
     print(f"Solver stats: {stats.nodes_explored} nodes over {stats.cp_windows} CP windows "
-          f"({stats.nodes_per_sec:.0f} nodes/s)")
+          f"({stats.nodes_per_sec:.0f} nodes/s); "
+          f"{stats.windows_reused} of {stats.windows} windows replayed from cache")
     print(f"  tightenings {stats.propagations}; constraint evals: "
           f"linear {stats.prop_linear}, implication {stats.prop_implication}; "
           f"queue peak {stats.queue_peak}")
     print(f"  time: propagate {stats.time_propagate_s:.3f}s, "
           f"branch {stats.time_branch_s:.3f}s, bound {stats.time_bound_s:.3f}s")
+    print(f"  compile phases: cp {stats.cp_solve_s:.3f}s, "
+          f"prover {stats.exact_prover_s:.3f}s, greedy {stats.greedy_s:.3f}s, "
+          f"build {stats.build_model_s:.3f}s ({stats.edf_calls} EDF oracle calls)")
     if not stats.window_stats:
         return
     header = f"  {'win':>4s} {'status':9s} {'nodes':>8s} {'nodes/s':>9s} {'props':>9s} {'qpeak':>6s} {'wall s':>8s}"
@@ -113,6 +137,42 @@ def _print_solver_stats(plan) -> None:
               f"{w['queue_peak']:>6d} {w['wall_time_s']:>8.3f}")
 
 
+def _print_fusion_iterations(report) -> None:
+    """Per-adaptive-fusion-iteration compile breakdown (window reuse + phases)."""
+    print(f"Adaptive fusion: {report.total_windows_reused} of {report.total_windows} "
+          f"windows reused across {len(report.solver_iterations)} solves "
+          f"({report.window_reuse_rate * 100:.0f}%)")
+    print(f"  {'iter':>4s} {'status':9s} {'windows':>7s} {'reused':>6s} "
+          f"{'cp s':>7s} {'prover s':>8s} {'greedy s':>8s} {'edf':>6s}")
+    for it in report.solver_iterations:
+        print(f"  {it['iteration']:>4d} {it['status']:9s} {it['windows']:>7d} "
+              f"{it['windows_reused']:>6d} {it['cp_solve_s']:>7.3f} "
+              f"{it['exact_prover_s']:>8.3f} {it['greedy_s']:>8.3f} {it['edf_calls']:>6d}")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile compile MODEL DEVICE``: cProfile one compile."""
+    import cProfile
+    import pstats
+
+    device = get_device(args.device)
+    graph = load_model(args.model)
+    config = FlashMemConfig(opg=OpgConfig(time_limit_s=args.time_limit))
+    fm = FlashMem(config)
+    print(f"Profiling compile of {graph.summary()} for {device.name} ...")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    compiled = fm.compile(graph, device)
+    profiler.disable()
+    print(f"compile finished in {compiled.compile_s:.2f}s "
+          f"(status {compiled.plan.stats.solver_status}); "
+          f"top {args.top} functions by cumulative time:")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
+    if compiled.fusion_report is not None and compiled.fusion_report.solver_iterations:
+        _print_fusion_iterations(compiled.fusion_report)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     graph = load_model(args.model)
@@ -121,9 +181,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"Compiling {graph.summary()} for {device.name} ...")
     compiled = fm.compile(graph, device, target_preload_ratio=args.preload_ratio)
     print(f"  plan: {compiled.plan.stats.solver_status}, "
-          f"preload {compiled.preload_ratio * 100:.1f}%")
+          f"preload {compiled.preload_ratio * 100:.1f}% "
+          f"(compiled in {compiled.compile_s:.2f}s)")
     if args.solver_stats:
         _print_solver_stats(compiled.plan)
+        if compiled.fusion_report is not None and compiled.fusion_report.solver_iterations:
+            _print_fusion_iterations(compiled.fusion_report)
     result = fm.run(compiled, iterations=args.iterations)
     print(f"FlashMem: {result.latency_ms:.0f} ms, "
           f"avg {result.avg_memory_mb:.0f} MB, peak {result.peak_memory_mb:.0f} MB, "
@@ -205,6 +268,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_plan(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     return 2
 
 

@@ -18,6 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -44,6 +45,8 @@ class CompiledModel:
     bundle: KernelBundle
     device: DeviceProfile
     fusion_report: Optional[AdaptiveFusionReport] = None
+    #: End-to-end wall-clock of ``FlashMem.compile`` (offline cost metric).
+    compile_s: float = 0.0
 
     @property
     def preload_ratio(self) -> float:
@@ -85,6 +88,7 @@ class FlashMem:
         ``target_preload_ratio`` overrides the λ-derived preload fraction
         (the Figure 8 trade-off knob).
         """
+        compile_start = time.perf_counter()
         cfg = self.config
         capacity = capacity or self.capacity_model(device)
         solver = LcOpgSolver(cfg.opg, use_cp=cfg.use_cp)
@@ -105,7 +109,12 @@ class FlashMem:
         style = ExecStyle.PIPELINED if cfg.use_kernel_rewriting else ExecStyle.RESIDENT
         bundle = KernelRewriter(style=style).rewrite_graph(executed, plan)
         return CompiledModel(
-            graph=executed, plan=plan, bundle=bundle, device=device, fusion_report=fusion_report
+            graph=executed,
+            plan=plan,
+            bundle=bundle,
+            device=device,
+            fusion_report=fusion_report,
+            compile_s=time.perf_counter() - compile_start,
         )
 
     def run(self, compiled: CompiledModel, *, iterations: int = 1) -> RunResult:

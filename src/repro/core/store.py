@@ -36,7 +36,7 @@ from repro.opg.problem import OpgConfig
 #: Version of the on-disk artifact format.  Bump whenever the pickled
 #: payload types change shape; old entries then simply address different
 #: paths and age out instead of being mis-loaded.
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
 
 
 def _canonical_default(value):

@@ -100,7 +100,7 @@ def run(device: str = DEFAULT_DEVICE, *, model: str = MODEL) -> AblationResult:
 
     # Rolling-window size sweep.
     for window in (16, 48, 128):
-        plan, dt = _solve(graph, capacity, OpgConfig(**base, window_layers=window))
+        plan, dt = _solve(graph, capacity, OpgConfig(**base, window_weights=window))
         add("window", str(window), plan, dt)
 
     return result

@@ -154,9 +154,32 @@ for _factory in (oneplus_12, oneplus_11, pixel_8, xiaomi_mi6):
     DEVICE_PRESETS[_profile.name] = _profile
 
 
+def _normalize_device_name(name: str) -> str:
+    """Canonical alias form: lowercase, alphanumerics only.
+
+    Maps "oneplus12", "OnePlus 12", "one-plus_12", "PIXEL 8" etc. onto the
+    same key, so scripts and CLI invocations don't have to reproduce the
+    marketing spelling exactly.
+    """
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+_DEVICE_ALIASES: Dict[str, str] = {
+    _normalize_device_name(_name): _name for _name in DEVICE_PRESETS
+}
+
+
 def get_device(name: str) -> DeviceProfile:
-    """Look up a device preset by marketing name."""
-    try:
-        return DEVICE_PRESETS[name]
-    except KeyError:
-        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICE_PRESETS)}") from None
+    """Look up a device preset by marketing name or a normalized alias.
+
+    Lookup is case- and punctuation-insensitive ("oneplus12" and
+    "OnePlus 12" resolve identically).  Unknown names raise KeyError
+    listing the available presets.
+    """
+    preset = DEVICE_PRESETS.get(name)
+    if preset is not None:
+        return preset
+    canonical = _DEVICE_ALIASES.get(_normalize_device_name(name))
+    if canonical is not None:
+        return DEVICE_PRESETS[canonical]
+    raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICE_PRESETS)}")

@@ -11,7 +11,7 @@ branch-and-bound an immediate incumbent.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.opg.problem import OpgProblem, WeightInfo
 
@@ -23,6 +23,13 @@ class Budgets:
     over the budgets' whole lifetime — the relaxation is global state, so an
     uncapped per-window retry loop would compound past what plan validation
     (and the paper's C4) admits.
+
+    ``available`` is the solver's single hottest query (millions of calls
+    per compile), so the ``max(0, min(C_l, M_peak_l))`` is memoised in a
+    per-layer array maintained by every mutator — ``consume``/``release``
+    update one slot, ``scale_capacity`` (the soft-round mutation) rebuilds
+    the whole array.  ``capacity`` and ``m_peak`` must only be mutated
+    through those methods.
     """
 
     def __init__(self, capacity: Sequence[int], m_peak: Sequence[int], *, max_soft_rounds: int = 2) -> None:
@@ -30,22 +37,29 @@ class Budgets:
         self.m_peak = list(m_peak)
         self.max_soft_rounds = max_soft_rounds
         self.soft_rounds_used = 0
+        self._avail = [max(0, min(c, m)) for c, m in zip(self.capacity, self.m_peak)]
 
     def available(self, layer: int) -> int:
-        return max(0, min(self.capacity[layer], self.m_peak[layer]))
+        return self._avail[layer]
+
+    def available_range(self, lo: int, hi: int) -> List[int]:
+        """Per-layer availability over ``[lo, hi)`` (a copy, safe to mutate)."""
+        return self._avail[lo:hi]
 
     def consume(self, layer: int, chunks: int) -> None:
-        if chunks > self.available(layer):
+        if chunks > self._avail[layer]:
             raise ValueError(
-                f"layer {layer}: consuming {chunks} chunks exceeds available {self.available(layer)}"
+                f"layer {layer}: consuming {chunks} chunks exceeds available {self._avail[layer]}"
             )
         self.capacity[layer] -= chunks
         self.m_peak[layer] -= chunks
+        self._avail[layer] = max(0, min(self.capacity[layer], self.m_peak[layer]))
 
     def release(self, layer: int, chunks: int) -> None:
         """Return chunks to a layer (local-improvement repacking)."""
         self.capacity[layer] += chunks
         self.m_peak[layer] += chunks
+        self._avail[layer] = max(0, min(self.capacity[layer], self.m_peak[layer]))
 
     def scale_capacity(self, factor: float) -> bool:
         """Soft thresholding: relax remaining capacities (C4 tier 1).
@@ -56,6 +70,7 @@ class Budgets:
             return False
         self.capacity = [int(c * factor) for c in self.capacity]
         self.soft_rounds_used += 1
+        self._avail = [max(0, min(c, m)) for c, m in zip(self.capacity, self.m_peak)]
         return True
 
 

@@ -90,9 +90,22 @@ class PlanStats:
     windows: int = 0
     cp_windows: int = 0
     heuristic_windows: int = 0
+    #: Windows replayed from the solver's cross-solve window cache instead
+    #: of being re-solved (adaptive-fusion iterations leave most windows
+    #: byte-identical; see DESIGN.md "compile-path performance").
+    windows_reused: int = 0
     soft_threshold_rounds: int = 0
     incremental_preloads: int = 0
     nodes_explored: int = 0
+    # ---- compile-phase wall-clock split (complements build/solve above) ----
+    #: Time inside the CP engine's branch-and-bound (`CpSolver.solve`).
+    cp_solve_s: float = 0.0
+    #: Time inside the exact release-vector prover (`prove_window`).
+    exact_prover_s: float = 0.0
+    #: Time inside the greedy fallback tier and the long-range rescue pass.
+    greedy_s: float = 0.0
+    #: EDF oracle invocations (packability checks + CP hints + prover).
+    edf_calls: int = 0
     # ---- solver observability (aggregated over CP windows) ----
     #: Total bound tightenings across all CP solves.
     propagations: int = 0

@@ -34,7 +34,12 @@ class OpgConfig:
         long_lookback: extended horizon used by the greedy rescue pass for
             weights too large for the CP window (e.g. LM heads); trades
             longer residency for avoiding a full preload.
-        window_layers: rolling-window size for incremental scheduling.
+        window_weights: rolling-window size for incremental scheduling, in
+            weights per window.  Counting weights (not layers) bounds the
+            CP model size directly and — because fusion splits insert
+            *layers* but conserve the weight sequence — keeps the window
+            partition invariant across adaptive-fusion iterations, which
+            the window-reuse cache depends on.
         time_limit_s: total solver wall-clock budget for the model
             (paper uses 150 s on a workstation).
         soft_threshold_factor: C4 soft-thresholding multiplier on C_l.
@@ -51,7 +56,7 @@ class OpgConfig:
     alpha: float = 0.25
     lookback: int = 16
     long_lookback: int = 160
-    window_layers: int = 48
+    window_weights: int = 64
     time_limit_s: float = 20.0
     soft_threshold_factor: float = 1.3
     max_soft_rounds: int = 2
@@ -64,6 +69,16 @@ class OpgConfig:
     #: Prover only engages when the incumbent is within this distance of
     #: the solo lower bound (wider gaps are combinatorial).
     prover_max_gap: int = 8
+    #: Cross-solve window reuse: fingerprint each rolling window and replay
+    #: the cached schedule when an identical window (same weights, same
+    #: local budgets, same soft-round state — translated to window-relative
+    #: coordinates) comes back, as it does for most windows across
+    #: adaptive-fusion iterations.  Reuse assumes the deterministic node
+    #: budgets, not wall-clock limits, bound the per-window searches (see
+    #: DESIGN.md "compile-path performance" for the exact invariant).
+    window_reuse: bool = True
+    #: FIFO capacity of the window cache, in entries.
+    window_cache_entries: int = 4096
     preload_hint_weights: frozenset = frozenset()
 
     def __post_init__(self) -> None:
@@ -71,8 +86,8 @@ class OpgConfig:
             raise ValueError("chunk_bytes must be positive")
         if not 0.0 <= self.lam <= 1.0:
             raise ValueError("lam must be in [0, 1]")
-        if self.lookback < 1 or self.window_layers < 2:
-            raise ValueError("lookback >= 1 and window_layers >= 2 required")
+        if self.lookback < 1 or self.window_weights < 2:
+            raise ValueError("lookback >= 1 and window_weights >= 2 required")
 
 
 @dataclass

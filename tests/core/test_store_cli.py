@@ -148,7 +148,26 @@ class TestCli:
     def test_run_solver_stats(self, capsys):
         code = cli_main(["run", "ResNet50", "--time-limit", "1", "--solver-stats"])
         assert code == 0
-        assert "Solver stats" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "Solver stats" in out
+        assert "windows replayed from cache" in out
+        assert "compiled in" in out
+
+    def test_profile_compile(self, capsys):
+        code = cli_main(
+            ["profile", "compile", "ResNet50", "oneplus12", "--top", "5", "--time-limit", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Profiling compile" in out
+        assert "OnePlus 12" in out  # alias resolved to the canonical preset
+        assert "cumulative" in out
+        assert "compile finished in" in out
+
+    def test_device_alias_accepted_by_run(self, capsys):
+        code = cli_main(["run", "ResNet50", "--device", "PIXEL-8", "--time-limit", "1"])
+        assert code == 0
+        assert "Pixel 8" in capsys.readouterr().out
 
     def test_experiment_command(self, capsys, tmp_path):
         assert cli_main(["experiment", "table5", "--cache-dir", str(tmp_path)]) == 0

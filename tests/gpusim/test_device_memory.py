@@ -39,6 +39,30 @@ class TestDeviceProfiles:
         assert d.gpu == "Adreno 750"  # other fields preserved
 
 
+class TestDeviceAliases:
+    @pytest.mark.parametrize(
+        "alias",
+        ["oneplus12", "ONEPLUS 12", "one-plus_12", "OnePlus12", "  OnePlus 12  "],
+    )
+    def test_normalized_aliases_resolve(self, alias):
+        assert get_device(alias) is get_device("OnePlus 12")
+
+    def test_pixel_aliases(self):
+        assert get_device("pixel8").gpu == get_device("Pixel 8").gpu
+        assert get_device("PIXEL-8").gpu == get_device("Pixel 8").gpu
+
+    def test_exact_names_still_work(self):
+        for name in DEVICE_PRESETS:
+            assert get_device(name) is DEVICE_PRESETS[name]
+
+    def test_unknown_device_lists_presets(self):
+        with pytest.raises(KeyError) as exc:
+            get_device("iphone27")
+        message = str(exc.value)
+        for name in DEVICE_PRESETS:
+            assert name in message
+
+
 class TestMemoryPool:
     def test_alloc_free_roundtrip(self):
         p = MemoryPool("um")
