@@ -31,13 +31,9 @@ The acceptance bar for the incremental pipeline is >= 3x on GPTN-2.7B.
 
 import gc
 import json
-import os
-import pathlib
-import subprocess
-import sys
 import time
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, ab_subprocess, emit_record
 
 from repro.gpusim.device import get_device
 from repro.graph.models.zoo import load_model
@@ -50,9 +46,6 @@ DEVICE = "OnePlus 12"
 
 #: Samples per A/B side (interleaved I B I B ...; min is reported).
 AB_SAMPLES = 2
-
-_BENCH_DIR = pathlib.Path(__file__).resolve().parent
-_SRC_DIR = _BENCH_DIR.parent / "src"
 
 SEED_WINDOW_LAYERS = 48
 
@@ -147,38 +140,16 @@ def _measure_side(side: str) -> None:
             "greedy_s": round(plan.stats.greedy_s, 3),
             "edf_calls": plan.stats.edf_calls,
         }
-    print("BENCH_RECORD " + json.dumps(record))
-
-
-def _run_side_isolated(side: str) -> dict:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.pathsep.join([str(_SRC_DIR), str(_BENCH_DIR)])
-    proc = subprocess.run(
-        [
-            sys.executable,
-            "-c",
-            f"import test_compile_latency as m; m._measure_side({side!r})",
-        ],
-        capture_output=True,
-        text=True,
-        env=env,
-        cwd=str(_BENCH_DIR),
-        check=False,
-    )
-    for line in proc.stdout.splitlines():
-        if line.startswith("BENCH_RECORD "):
-            return json.loads(line[len("BENCH_RECORD "):])
-    raise RuntimeError(
-        f"{side} measurement subprocess failed "
-        f"(exit {proc.returncode}):\n{proc.stderr[-2000:]}"
-    )
+    emit_record(record)
 
 
 def _incremental_ab():
     runs = {"incremental": [], "baseline": []}
     for _ in range(AB_SAMPLES):
         for side in ("incremental", "baseline"):
-            runs[side].append(_run_side_isolated(side))
+            runs[side].append(
+                ab_subprocess("test_compile_latency", "_measure_side", side)
+            )
     best_new = min(runs["incremental"], key=lambda r: r["cpu_s"])
     best_old = min(runs["baseline"], key=lambda r: r["cpu_s"])
 

@@ -14,6 +14,10 @@ Commands:
 - ``profile compile MODEL DEVICE`` — run one compile under cProfile and
                                   print the top cumulative-time hotspots
                                   (offline-compile performance triage).
+- ``profile run MODEL DEVICE``  — compile once, then cProfile the simulated
+                                  execution (``FlashMem.run``) and print the
+                                  hotspots plus the run's pricing/replay
+                                  counters (simulation hot-path triage).
 
 Device arguments accept normalized aliases ("oneplus12", "pixel8", any
 case/spacing) in addition to the exact marketing names.
@@ -83,6 +87,21 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="number of hotspot rows to print (default 25)")
     prof_compile.add_argument("--time-limit", type=float, default=5.0,
                               help="LC-OPG solver budget in seconds")
+    prof_run = prof_sub.add_parser(
+        "run", help="cProfile one FlashMem.run (simulation hot path) and print hotspots"
+    )
+    prof_run.add_argument("model", choices=sorted(ALL_CARDS))
+    prof_run.add_argument("device", help="device preset name or alias")
+    prof_run.add_argument("--iterations", type=int, default=10,
+                          help="inference iterations to simulate (default 10)")
+    prof_run.add_argument("--top", type=int, default=25,
+                          help="number of hotspot rows to print (default 25)")
+    prof_run.add_argument("--time-limit", type=float, default=5.0,
+                          help="LC-OPG solver budget for the (unprofiled) compile")
+    prof_run.add_argument("--no-cost-tables", action="store_true",
+                          help="price kernels with the scalar per-node model")
+    prof_run.add_argument("--no-extrapolate", action="store_true",
+                          help="simulate every iteration instead of replaying steady state")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS + ["all"],
@@ -148,6 +167,43 @@ def _print_fusion_iterations(report) -> None:
         print(f"  {it['iteration']:>4d} {it['status']:9s} {it['windows']:>7d} "
               f"{it['windows_reused']:>6d} {it['cp_solve_s']:>7.3f} "
               f"{it['exact_prover_s']:>8.3f} {it['greedy_s']:>8.3f} {it['edf_calls']:>6d}")
+
+
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    """``repro profile run MODEL DEVICE``: cProfile the simulation hot path."""
+    import cProfile
+    import pstats
+
+    from repro.gpusim import pricing
+
+    device = get_device(args.device)
+    graph = load_model(args.model)
+    config = FlashMemConfig(opg=OpgConfig(time_limit_s=args.time_limit))
+    fm = FlashMem(config)
+    print(f"Compiling {graph.summary()} for {device.name} (not profiled) ...")
+    compiled = fm.compile(graph, device)
+    before = pricing.STATS.snapshot()
+    print(f"Profiling run: {args.iterations} iteration(s), "
+          f"cost tables {'off' if args.no_cost_tables else 'on'}, "
+          f"extrapolation {'off' if args.no_extrapolate else 'on'} ...")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fm.run(
+        compiled,
+        iterations=args.iterations,
+        use_cost_tables=not args.no_cost_tables,
+        extrapolate=not args.no_extrapolate,
+    )
+    profiler.disable()
+    delta = pricing.STATS.delta_since(before)
+    print(f"run finished: {result.latency_ms:.0f} ms simulated in "
+          f"{result.details.get('sim_s', 0.0) * 1e3:.1f} ms wall; "
+          f"pricing tables {int(delta['table_hits'])} hit / "
+          f"{int(delta['table_misses'])} miss, "
+          f"{int(delta['replayed_iterations'])} iteration(s) extrapolated")
+    print(f"top {args.top} functions by cumulative time:")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -269,6 +325,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "profile":
+        if args.profile_what == "run":
+            return _cmd_profile_run(args)
         return _cmd_profile(args)
     return 2
 

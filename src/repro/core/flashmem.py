@@ -117,13 +117,30 @@ class FlashMem:
             compile_s=time.perf_counter() - compile_start,
         )
 
-    def run(self, compiled: CompiledModel, *, iterations: int = 1) -> RunResult:
-        """Execute a compiled model on the simulator."""
+    def run(
+        self,
+        compiled: CompiledModel,
+        *,
+        iterations: int = 1,
+        use_cost_tables: Optional[bool] = None,
+        extrapolate: Optional[bool] = None,
+    ) -> RunResult:
+        """Execute a compiled model on the simulator.
+
+        ``use_cost_tables``/``extrapolate`` thread through to
+        :meth:`FlashMemExecutor.run` (byte-identical escape hatches for the
+        differential tests; None uses the module defaults).
+        """
         executor = FlashMemExecutor(
             compiled.device, rewriting=self.config.use_kernel_rewriting
         )
         return executor.run(
-            compiled.graph, compiled.plan, compiled.bundle, iterations=iterations
+            compiled.graph,
+            compiled.plan,
+            compiled.bundle,
+            iterations=iterations,
+            use_cost_tables=use_cost_tables,
+            extrapolate=extrapolate,
         )
 
     def compile_and_run(

@@ -24,6 +24,7 @@ from repro.capacity.model import LoadCapacityModel, analytic_capacity_model
 from repro.core.config import FlashMemConfig
 from repro.core.flashmem import CompiledModel, FlashMem
 from repro.core.store import ArtifactStore, flashmem_config_fingerprint
+from repro.gpusim import pricing
 from repro.gpusim.device import get_device
 from repro.gpusim.timeline import RunResult
 from repro.graph.dag import Graph
@@ -66,6 +67,7 @@ def configure_cache(cache_dir: Union[str, pathlib.Path, None]) -> Optional[Artif
     """
     global _STORE
     _STORE = ArtifactStore(cache_dir) if cache_dir is not None else None
+    pricing.set_pricing_store(_STORE)
     return _STORE
 
 
@@ -83,12 +85,22 @@ def swap_store(store: Optional[ArtifactStore]) -> Optional[ArtifactStore]:
     global _STORE
     previous = _STORE
     _STORE = store
+    pricing.set_pricing_store(store)
     return previous
 
 
 def cache_stats() -> Dict[str, int]:
-    """Persistent-store counters (all zero when the store is disabled)."""
-    return _STORE.stats.snapshot() if _STORE else {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+    """Persistent-store + pricing counters (store fields zero when disabled).
+
+    Store traffic (``hits``/``misses``/``stores``/``corrupt``) comes from the
+    :class:`ArtifactStore`; ``pricing_hits``/``pricing_misses`` count the
+    in-process cost-table LRU across every simulated run this process made.
+    """
+    stats = (_STORE.stats.snapshot() if _STORE
+             else {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0})
+    stats["pricing_hits"] = pricing.STATS.table_hits
+    stats["pricing_misses"] = pricing.STATS.table_misses
+    return stats
 
 
 def experiment_config_fingerprint() -> str:

@@ -29,7 +29,14 @@ class EnergyReport:
 
 
 def _busy_intervals(events, kinds=None) -> List[Tuple[float, float]]:
-    """Merge a queue's events into disjoint busy intervals."""
+    """Merge an arbitrary event list into disjoint busy intervals.
+
+    Reference implementation over :class:`QueueEvent` rows; the measurement
+    path below uses :meth:`CommandQueue.busy_intervals`, which produces the
+    identical merged list in one pass off the columnar log (queue events are
+    start-sorted and disjoint by construction, so the sort here is the
+    identity permutation for them).
+    """
     spans = sorted(
         (e.start_ms, e.end_ms)
         for e in events
@@ -67,8 +74,8 @@ def measure_energy(queues: DualQueue, device: DeviceProfile, *, end_ms: float = 
     tail); the window starts at 0.
     """
     horizon = max(queues.makespan_ms, end_ms)
-    io_busy = _busy_intervals(queues.io.events)
-    gpu_busy = _busy_intervals(queues.gpu.events)
+    io_busy = queues.io.busy_intervals()
+    gpu_busy = queues.gpu.busy_intervals()
     io_total = sum(e - s for s, e in io_busy)
     gpu_total = sum(e - s for s, e in gpu_busy)
     overlap = _overlap_length(io_busy, gpu_busy)

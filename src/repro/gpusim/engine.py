@@ -9,11 +9,30 @@ time: executors allocate at *event completion times* that do not arrive in
 chronological order (a disk load finishes long before the transform kernel
 enqueued after it), so the step function can only be built once all events
 are known.
+
+**Tie-breaking rule.**  Deltas at equal timestamps integrate *frees before
+allocations* (sorted by (time, delta), so negative deltas come first).  An
+executor that frees a unified-memory staging copy and allocates the texture
+copy "at the same millisecond" models an exchange, not a transient
+double-residency — integrating the allocation first would overstate peak
+memory by the staging size, with the overstatement depending on executor
+submission order.  ``build_timeline`` implements the rule with a numpy
+lexsort + cumsum over the whole delta log.
+
+The rule has one executor-visible escape hatch for frees that model the
+*other* semantics: ``free_um(..., after_allocs=True)`` applies after the
+allocations of the same instant.  A serialized model file that stays mapped
+until the last tensor has been copied out of it really does coexist with
+that tensor's fresh allocation for an instant — the double-residency is the
+init-time transient behind Table 1's ~3x peaks, so the free must not erase
+it just because both deltas carry the same timestamp.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.gpusim.device import DeviceProfile
 from repro.gpusim.energy import measure_energy
@@ -43,7 +62,9 @@ class Simulation:
         self.um = MemoryPool("unified")
         self.tm = MemoryPool("texture")
         self.phases = Phases()
-        self._deltas: List[Tuple[float, int]] = []
+        # (time_ms, delta_bytes, rank): rank 0 integrates with the default
+        # frees-before-allocs tie rule; rank 1 marks after-alloc frees.
+        self._deltas: List[Tuple[float, int, int]] = []
         self._timeline: Optional[Tuple[int, MemoryTimeline]] = None
         self._finished: Optional[RunResult] = None
 
@@ -54,19 +75,27 @@ class Simulation:
 
     def alloc_um(self, name: str, nbytes: int, time_ms: float) -> None:
         self.um.allocate(name, nbytes, time_ms)
-        self._deltas.append((time_ms, nbytes))
+        self._deltas.append((time_ms, nbytes, 0))
 
-    def free_um(self, name: str, time_ms: float) -> None:
+    def free_um(self, name: str, time_ms: float, *, after_allocs: bool = False) -> None:
+        """Free a unified-memory allocation.
+
+        ``after_allocs=True`` integrates the free *after* same-timestamp
+        allocations instead of before them (see the module docstring): use
+        it when the freed buffer genuinely coexists for an instant with
+        memory allocated at the same time — a copy-out transient — rather
+        than being exchanged for it.
+        """
         nbytes = self.um.free(name, time_ms)
-        self._deltas.append((time_ms, -nbytes))
+        self._deltas.append((time_ms, -nbytes, 1 if after_allocs else 0))
 
     def alloc_tm(self, name: str, nbytes: int, time_ms: float) -> None:
         self.tm.allocate(name, nbytes, time_ms)
-        self._deltas.append((time_ms, nbytes))
+        self._deltas.append((time_ms, nbytes, 0))
 
     def free_tm(self, name: str, time_ms: float) -> None:
         nbytes = self.tm.free(name, time_ms)
-        self._deltas.append((time_ms, -nbytes))
+        self._deltas.append((time_ms, -nbytes, 0))
 
     def free_all(self, time_ms: float) -> None:
         """Release every live allocation in both pools (model teardown),
@@ -75,6 +104,16 @@ class Simulation:
             self.free_um(name, time_ms)
         for name in list(self.tm.live_names()):
             self.free_tm(name, time_ms)
+
+    def raw_deltas(self) -> List[Tuple[float, int, int]]:
+        """The mutable delta log, for trusted bulk-append replay paths.
+
+        Appended ``(time_ms, delta_bytes, rank)`` entries bypass the
+        :class:`MemoryPool` bookkeeping, so the caller must guarantee they
+        are alloc/free balanced (the runtime's steady-state replay verifies
+        this during recording).
+        """
+        return self._deltas
 
     def build_timeline(self) -> MemoryTimeline:
         """Integrate the delta log into a chronological step function.
@@ -87,10 +126,19 @@ class Simulation:
         if self._timeline is not None and self._timeline[0] == len(self._deltas):
             return self._timeline[1]
         timeline = MemoryTimeline()
-        total = 0
-        for time_ms, delta in sorted(self._deltas, key=lambda d: d[0]):
-            total += delta
-            timeline.record(time_ms, total)
+        if self._deltas:
+            times = np.array([d[0] for d in self._deltas], dtype=np.float64)
+            deltas = np.array([d[1] for d in self._deltas], dtype=np.int64)
+            ranks = np.array([d[2] for d in self._deltas], dtype=np.int8)
+            # Chronological; frees before allocs at ties, except rank-1
+            # after-alloc frees which land last (see module docs).
+            order = np.lexsort((deltas, ranks, times))
+            totals = np.cumsum(deltas[order])
+            if totals.min() < 0:
+                raise ValueError("memory cannot be negative")
+            # Equivalent to timeline.record per sorted delta: times arrive
+            # non-decreasing, so every record would take the append path.
+            timeline.samples.extend(zip(times[order].tolist(), totals.tolist()))
         self._timeline = (len(self._deltas), timeline)
         return timeline
 

@@ -1,0 +1,259 @@
+"""Vectorized kernel pricing: whole-graph cost tables for the simulator.
+
+The scalar :class:`~repro.gpusim.kernels.KernelCostModel` prices one operator
+per call; executors used to invoke it once per node *per iteration*, which
+dominated the cold experiment-suite wall clock.  This module batches the
+same arithmetic over every kernel of a run at once with numpy float64
+elementwise operations.
+
+**Bitwise contract.**  The vectorized formulas replicate the scalar methods
+operation-for-operation (same IEEE-754 double ops, same association order),
+so each table entry equals the corresponding scalar result *exactly* — not
+approximately.  ``tests/gpusim/test_pricing_differential.py`` pins ``==``
+equality across every device preset, op class, efficiency, and
+``extra_bytes`` grid; the scalar model remains the differential oracle.
+
+Tables are memoized twice:
+
+- an in-process LRU keyed on the full pricing input (device profile plus
+  one row per kernel), shared by repeated runs of the same compiled model;
+- optionally the persistent :class:`~repro.core.store.ArtifactStore` from
+  the experiment layer, installed via :func:`set_pricing_store` (the gpusim
+  package cannot import ``repro.experiments`` — the hook keeps the
+  dependency pointing outward).
+
+:data:`STATS` counts table hits/misses, persistent-store traffic, simulated
+runs, simulated wall seconds, and extrapolated iterations; executors thread
+per-run deltas into ``RunResult.details`` and the sweep layer aggregates
+them into the suite cache-stats line.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpusim.device import DeviceProfile
+from repro.gpusim.kernels import CONTENTION_GAMMA, INTERFERENCE
+from repro.graph.ops import OpClass, OpSpec
+
+#: One kernel's pricing inputs: everything the scalar model reads.
+#: (op_class, flops, bytes_moved, output_bytes, extra_bytes, efficiency,
+#:  divergent) — ``divergent`` marks BRANCHY kernels with embedded loads,
+#: which pay the whole-body divergence penalty on top.
+KernelRow = Tuple[OpClass, int, int, int, int, float, bool]
+
+#: In-process table cache bound (each entry is one float64 array per run
+#: shape; 256 comfortably covers the full experiment grid).
+_TABLE_CACHE_MAX = 256
+
+#: Global default for executors' ``use_cost_tables`` argument.  Benchmarks
+#: flip this to False (together with the executors' extrapolation default)
+#: to emulate the pre-vectorization scalar pricing path in A/B children.
+COST_TABLES_DEFAULT = True
+
+#: Class-indexed interference coefficient lookup in a fixed order.
+_CLASS_ORDER = (OpClass.REUSABLE, OpClass.ELEMENTAL, OpClass.HIERARCHICAL, OpClass.LAYOUT)
+_CLASS_INDEX = {cls: i for i, cls in enumerate(_CLASS_ORDER)}
+_HIDE_FRACTION = np.array([INTERFERENCE[c].hide_fraction for c in _CLASS_ORDER])
+_SHARE_COEFF = np.array([INTERFERENCE[c].share_coeff for c in _CLASS_ORDER])
+#: Precomputed (1 + sync_penalty): the scalar path folds this constant the
+#: same way, so the product stays bitwise identical.
+_SYNC_FACTOR = np.array([1.0 + INTERFERENCE[c].sync_penalty for c in _CLASS_ORDER])
+
+#: Mirror of ``codegen.KernelProgram.time_ms``'s BRANCHY factor.  Resolved
+#: lazily: ``repro.kernels`` imports gpusim modules, so a module-level
+#: import here would tangle package initialization order.
+_DIVERGENCE_FACTOR: Optional[float] = None
+
+
+def _divergence_factor() -> float:
+    global _DIVERGENCE_FACTOR
+    if _DIVERGENCE_FACTOR is None:
+        from repro.kernels.codegen import BRANCH_DIVERGENCE_PENALTY
+
+        _DIVERGENCE_FACTOR = 1.0 + BRANCH_DIVERGENCE_PENALTY
+    return _DIVERGENCE_FACTOR
+
+
+@dataclass
+class SimStats:
+    """Process-wide simulation hot-path counters (monotonic)."""
+
+    table_hits: int = 0
+    table_misses: int = 0
+    store_hits: int = 0
+    store_stores: int = 0
+    runs: int = 0
+    sim_s: float = 0.0
+    replayed_iterations: int = 0
+
+    _FIELDS = ("table_hits", "table_misses", "store_hits", "store_stores",
+               "runs", "sim_s", "replayed_iterations")
+
+    def snapshot(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def delta_since(self, before: Mapping[str, float]) -> Dict[str, float]:
+        return {name: getattr(self, name) - before.get(name, 0) for name in self._FIELDS}
+
+
+#: The live counters.  Reset only by tests (fresh SimStats via reset_stats).
+STATS = SimStats()
+
+
+def reset_stats() -> None:
+    """Zero the process-wide counters (test isolation)."""
+    global STATS
+    STATS = SimStats()
+
+
+# ------------------------------------------------------------- store hook
+_PRICING_STORE = None  # ArtifactStore | None — installed by repro.experiments
+
+
+def set_pricing_store(store) -> Optional[object]:
+    """Install the persistent table store (None disables); returns previous.
+
+    Called by ``repro.experiments.common.configure_cache``/``swap_store`` so
+    sweep workers and repeated CLI invocations share priced tables without
+    gpusim importing the experiment layer.
+    """
+    global _PRICING_STORE
+    previous = _PRICING_STORE
+    _PRICING_STORE = store
+    return previous
+
+
+def _store_key(device: DeviceProfile, rows: Tuple[KernelRow, ...]) -> Dict[str, object]:
+    return {
+        "kind": "pricing-table",
+        "device": {
+            "name": device.name,
+            "um_bw": device.um_bw,
+            "tm_upload_bw": device.tm_upload_bw,
+            "fp16_gflops": device.fp16_gflops,
+            "kernel_launch_ms": device.kernel_launch_ms,
+        },
+        "rows": [[cls.value, flops, moved, out, extra, eff, int(div)]
+                 for cls, flops, moved, out, extra, eff, div in rows],
+    }
+
+
+# ------------------------------------------------------------ table build
+def _compute_table(device: DeviceProfile, rows: Tuple[KernelRow, ...]) -> np.ndarray:
+    """Vectorized ``KernelProgram.time_ms`` over ``rows`` (float64, exact).
+
+    Mirrors, in order: ``KernelCostModel.base_time_ms`` (layout branch via
+    ``output_bytes``), ``compute_slack_ms``, ``time_with_load_ms``, and the
+    BRANCHY divergence factor from ``codegen.KernelProgram.time_ms``.
+    """
+    cls_idx = np.array([_CLASS_INDEX[r[0]] for r in rows], dtype=np.intp)
+    flops = np.array([r[1] for r in rows], dtype=np.int64)
+    moved = np.array([r[2] for r in rows], dtype=np.int64)
+    out_bytes = np.array([r[3] for r in rows], dtype=np.int64)
+    extra = np.array([r[4] for r in rows], dtype=np.int64)
+    eff = np.array([r[5] for r in rows], dtype=np.float64)
+    divergent = np.array([r[6] for r in rows], dtype=bool)
+
+    launch = device.kernel_launch_ms
+    # Scalar: (flops / (fp16_gflops * 1e6)) / efficiency — two divisions, in
+    # this order (folding them would round differently).
+    t_compute = (flops / (device.fp16_gflops * 1e6)) / eff
+    t_memory = (moved / device.um_bw) / eff
+    base = launch + np.maximum(t_compute, t_memory)
+    is_layout = cls_idx == _CLASS_INDEX[OpClass.LAYOUT]
+    if is_layout.any():
+        base = np.where(is_layout, launch + out_bytes / device.um_bw, base)
+    times = base
+
+    loaded = extra > 0
+    if loaded.any():
+        slack = np.maximum(0.0, t_compute - t_memory)
+        stream = extra / device.tm_upload_bw
+        hidden = np.minimum(stream, slack * _HIDE_FRACTION[cls_idx])
+        excess = stream - hidden
+        exposed = _SHARE_COEFF[cls_idx] * excess * (1.0 + CONTENTION_GAMMA * excess / base)
+        with_load = base * _SYNC_FACTOR[cls_idx] + exposed
+        if divergent.any():
+            with_load = np.where(divergent, with_load * _divergence_factor(), with_load)
+        times = np.where(loaded, with_load, base)
+    return times
+
+
+class _TableCache:
+    """Tiny LRU over priced tables (device + rows -> float64 array)."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+    def get(self, key: tuple) -> Optional[np.ndarray]:
+        table = self._entries.get(key)
+        if table is not None:
+            self._entries.move_to_end(key)
+        return table
+
+    def put(self, key: tuple, table: np.ndarray) -> None:
+        self._entries[key] = table
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_TABLES = _TableCache(_TABLE_CACHE_MAX)
+
+
+def clear_tables() -> None:
+    """Drop all in-process priced tables (test isolation)."""
+    _TABLES.clear()
+
+
+def kernel_time_table(device: DeviceProfile, rows: Sequence[KernelRow]) -> np.ndarray:
+    """Priced latencies (ms) for ``rows`` on ``device``, memoized.
+
+    The returned array is shared between callers — treat it as read-only
+    (executors call ``.tolist()`` once and loop over Python floats).
+    """
+    rows = tuple(rows)
+    key = (device, rows)
+    table = _TABLES.get(key)
+    if table is not None:
+        STATS.table_hits += 1
+        return table
+    STATS.table_misses += 1
+    store = _PRICING_STORE
+    store_key = None
+    if store is not None:
+        store_key = _store_key(device, rows)
+        stored = store.load(store_key)
+        if stored is not None and len(stored) == len(rows):
+            STATS.store_hits += 1
+            table = np.asarray(stored, dtype=np.float64)
+            _TABLES.put(key, table)
+            return table
+    table = _compute_table(device, rows)
+    table.setflags(write=False)
+    _TABLES.put(key, table)
+    if store is not None:
+        store.save(store_key, table)
+        STATS.store_stores += 1
+    return table
+
+
+# --------------------------------------------------------- row construction
+def spec_row(
+    op: OpSpec,
+    *,
+    extra_bytes: int = 0,
+    efficiency: float = 1.0,
+    divergent: bool = False,
+) -> KernelRow:
+    """The pricing inputs of one operator (see :data:`KernelRow`)."""
+    return (op.op_class, op.flops, op.bytes_moved, op.output_bytes,
+            extra_bytes, efficiency, divergent)

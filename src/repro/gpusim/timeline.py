@@ -43,13 +43,20 @@ class MemoryTimeline:
         return usage
 
     def average_bytes(self, start_ms: float = 0.0, end_ms: Optional[float] = None) -> float:
-        """Time-weighted average over [start, end] (end defaults to last sample)."""
+        """Time-weighted average over [start, end] (end defaults to last sample).
+
+        The result is clamped to the value range attained over the window: a
+        true time-weighted mean lies between the minimum and maximum of the
+        step function, but the float integral can drift an ulp past those
+        bounds (e.g. a constant timeline averaging a hair above its peak).
+        """
         if end_ms is None:
             end_ms = self.samples[-1][0]
         if end_ms <= start_ms:
             return float(self.usage_at(start_ms))
         total = 0.0
         prev_t, prev_v = start_ms, self.usage_at(start_ms)
+        vmin = vmax = prev_v
         for t, v in self.samples:
             if t <= start_ms:
                 continue
@@ -57,8 +64,17 @@ class MemoryTimeline:
                 break
             total += prev_v * (t - prev_t)
             prev_t, prev_v = t, v
+            if v < vmin:
+                vmin = v
+            elif v > vmax:
+                vmax = v
         total += prev_v * (end_ms - prev_t)
-        return total / (end_ms - start_ms)
+        average = total / (end_ms - start_ms)
+        if average > vmax:
+            return float(vmax)
+        if average < vmin:
+            return float(vmin)
+        return average
 
     def series(self, resolution_ms: float = 50.0, end_ms: Optional[float] = None) -> List[Tuple[float, int]]:
         """Resampled (time, bytes) series for plotting (Figure 6)."""

@@ -31,6 +31,10 @@ class CellOutcome:
     wall_s: float
     cache_hit: bool = False
     store_delta: Dict[str, int] = field(default_factory=dict)
+    #: Simulation hot-path counters accrued by this cell (runs, sim_s,
+    #: pricing table hits/misses, replayed iterations) — see
+    #: :data:`repro.gpusim.pricing.STATS`.
+    sim_delta: Dict[str, float] = field(default_factory=dict)
     error: str = ""
     #: Rendered table/figure text for ``driver`` cells.
     text: Optional[str] = None
@@ -68,9 +72,11 @@ def _run_driver(name: str) -> tuple:
 def _execute_cell(cell: Cell) -> CellOutcome:
     """Run one cell in the current process (worker or inline)."""
     from repro.experiments import common
+    from repro.gpusim import pricing
 
     store = common.cache_store()
     before = store.stats.snapshot() if store is not None else {}
+    sim_before = pricing.STATS.snapshot()
     start = time.perf_counter()
     text: Optional[str] = None
     cache_hit = False
@@ -92,8 +98,9 @@ def _execute_cell(cell: Cell) -> CellOutcome:
         ok, error = False, f"{type(exc).__name__}: {exc}"
     wall = time.perf_counter() - start
     delta = store.stats.delta_since(before) if store is not None else {}
+    sim_delta = pricing.STATS.delta_since(sim_before)
     return CellOutcome(cell=cell, ok=ok, wall_s=wall, cache_hit=cache_hit,
-                       store_delta=delta, error=error, text=text)
+                       store_delta=delta, sim_delta=sim_delta, error=error, text=text)
 
 
 def _worker_init(cache_dir: Optional[str]) -> None:
@@ -126,14 +133,52 @@ class SweepReport:
                 totals[k] += outcome.store_delta.get(k, 0)
         return totals
 
+    def sim_totals(self) -> Dict[str, float]:
+        """Aggregate simulation hot-path counters across all cells.
+
+        Keys follow :class:`repro.gpusim.pricing.SimStats` (runs, sim_s,
+        table hits/misses, replayed iterations).  With a process pool each
+        worker's deltas are summed, so totals cover the whole sweep.
+        """
+        totals: Dict[str, float] = {}
+        for outcome in self.outcomes:
+            for k, v in outcome.sim_delta.items():
+                totals[k] = totals.get(k, 0.0) + v
+        return totals
+
     def cache_line(self) -> str:
         """One-line cache-traffic summary for the CLI output."""
+        sim = self.sim_totals()
+        pricing_part = ""
+        priced = sim.get("table_hits", 0) + sim.get("table_misses", 0)
+        if priced:
+            pricing_part = (f"; pricing tables: {int(sim.get('table_hits', 0))} hits, "
+                            f"{int(sim.get('table_misses', 0))} misses")
         if self.cache_dir is None:
-            return "cache: disabled (--no-cache)"
+            return "cache: disabled (--no-cache)" + pricing_part
         t = self.store_totals()
         return (f"cache: {t['hits']} hits, {t['misses']} misses, {t['stores']} stored"
                 + (f", {t['corrupt']} quarantined" if t["corrupt"] else "")
-                + f" (dir {self.cache_dir})")
+                + f" (dir {self.cache_dir})" + pricing_part)
+
+    def sim_line(self) -> Optional[str]:
+        """Summary of simulated time vs everything else, when cells simulated.
+
+        ``sim_s`` is the wall time spent inside executor runs; the remainder
+        of the sweep wall clock is compile/solve/render/cache traffic.  None
+        when no cell ran a simulation (fully warm sweeps).
+        """
+        sim = self.sim_totals()
+        runs = int(sim.get("runs", 0))
+        if not runs:
+            return None
+        sim_s = sim.get("sim_s", 0.0)
+        line = (f"simulation: {runs} run(s), {sim_s:.2f}s simulated "
+                f"vs {self.wall_s:.1f}s total sweep wall")
+        replayed = int(sim.get("replayed_iterations", 0))
+        if replayed:
+            line += f", {replayed} iteration(s) extrapolated"
+        return line
 
     def render(self) -> str:
         lines = [f"sweep: {len(self.outcomes)} cells, {self.jobs} job(s), "
@@ -143,6 +188,9 @@ class SweepReport:
             hit = " [cached]" if o.cache_hit else ""
             lines.append(f"  {status} {o.cell.label():40s} {o.wall_s:7.2f}s{hit}"
                          + (f"  {o.error}" if o.error else ""))
+        sim_line = self.sim_line()
+        if sim_line:
+            lines.append(sim_line)
         lines.append(self.cache_line())
         return "\n".join(lines)
 

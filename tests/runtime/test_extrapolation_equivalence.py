@@ -1,0 +1,84 @@
+"""Differential tests: steady-state iteration extrapolation is exact.
+
+``FlashMemExecutor.run`` records iterations 1-2 as instruction traces and,
+when they match (and alloc/free balance), replays the trace for iterations
+>= 3 instead of re-simulating — re-executing the *same* float operations on
+raw queue columns and the raw delta log.  The claim is byte-identity, not
+approximation: every ``RunResult`` field except the volatile wall-clock
+counters must be equal with extrapolation on and off.
+
+Compiles here use a reduced solver budget — plan quality is irrelevant to
+the equivalence property, only that both runs share one plan.
+"""
+
+import pytest
+
+from repro.core.config import FlashMemConfig
+from repro.core.flashmem import FlashMem
+from repro.gpusim.device import get_device
+from repro.graph.models import load_model
+from repro.opg.problem import OpgConfig
+
+MODELS = ("ViT", "GPTN-S", "ResNet50")
+DEVICES = ("OnePlus 12", "Pixel 8")
+ITERATION_COUNTS = (1, 2, 7)
+
+#: Wall-clock observability fields, excluded from the byte-identity check.
+VOLATILE_DETAILS = {"sim_s", "pricing_hits", "pricing_misses", "replayed_iterations"}
+
+
+@pytest.fixture(scope="module")
+def fm():
+    return FlashMem(FlashMemConfig(opg=OpgConfig(time_limit_s=1.5, max_nodes_per_window=300)))
+
+
+@pytest.fixture(scope="module")
+def compiled_models(fm):
+    return {
+        (model, device_name): fm.compile(load_model(model), get_device(device_name))
+        for model in MODELS
+        for device_name in DEVICES
+    }
+
+
+def assert_results_identical(fast, full):
+    assert fast.model == full.model and fast.device == full.device
+    assert fast.latency_ms == full.latency_ms
+    assert fast.phases == full.phases
+    assert fast.memory.samples == full.memory.samples
+    assert fast.peak_memory_bytes == full.peak_memory_bytes
+    assert fast.avg_memory_bytes == full.avg_memory_bytes
+    assert fast.energy_j == full.energy_j
+    assert fast.avg_power_w == full.avg_power_w
+    fast_details = {k: v for k, v in fast.details.items() if k not in VOLATILE_DETAILS}
+    full_details = {k: v for k, v in full.details.items() if k not in VOLATILE_DETAILS}
+    assert fast_details == full_details
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("device_name", DEVICES)
+@pytest.mark.parametrize("iterations", ITERATION_COUNTS)
+def test_extrapolation_byte_identical(fm, compiled_models, model, device_name, iterations):
+    compiled = compiled_models[(model, device_name)]
+    fast = fm.run(compiled, iterations=iterations, extrapolate=True)
+    full = fm.run(compiled, iterations=iterations, extrapolate=False)
+    assert_results_identical(fast, full)
+    replayed = fast.details.get("replayed_iterations", 0.0)
+    if iterations > 3:
+        # Steady state must actually have been detected and replayed.
+        assert replayed == iterations - 3
+    else:
+        assert replayed == 0.0
+
+
+def test_extrapolation_composes_with_scalar_pricing(fm, compiled_models):
+    """All four (tables, extrapolate) combinations agree bitwise."""
+    compiled = compiled_models[("ViT", "OnePlus 12")]
+    results = [
+        fm.run(compiled, iterations=6, use_cost_tables=tables, extrapolate=extrapolate)
+        for tables in (True, False)
+        for extrapolate in (True, False)
+    ]
+    reference = results[0]
+    for other in results[1:]:
+        assert_results_identical(other, reference)
