@@ -26,7 +26,10 @@ cost; process isolation keeps one side's allocation history (the baseline
 churns through an order of magnitude more objects) and transient
 noisy-neighbor stalls on a shared box from skewing the other side.
 
-The acceptance bar for the incremental pipeline is >= 3x on GPTN-2.7B.
+The acceptance bar for the incremental pipeline is >= 8x on GPTN-2.7B
+with >= 60% window reuse: round 1 (solve reuse + fast oracle) measured
+~4.1x at ~16% reuse; round 2 (canonical fingerprints + period-aware
+windows + bitset CP engine) must at least double that.
 """
 
 import gc
@@ -227,8 +230,9 @@ def test_compile_latency(benchmark):
         f"cache hit rate {ab['window_reuse']['cache_hit_rate']:.0%})"
     )
 
-    # The PR's acceptance bar: >= 3x compile speedup on GPTN-2.7B, with the
-    # incremental plan no worse in status, and the cache demonstrably used.
-    assert ab["speedup"] >= 3.0
-    assert ab["window_reuse"]["windows_reused"] > 0
+    # The acceptance bar: >= 8x compile speedup on GPTN-2.7B (round 1's
+    # ~4.1x at least doubled), >= 60% window reuse across the fusion loop,
+    # and the incremental plan no worse in status.
+    assert ab["speedup"] >= 8.0
+    assert ab["window_reuse"]["reuse_rate"] >= 0.60
     assert ab["statuses"]["incremental"] in ("OPTIMAL", ab["statuses"]["pre_pr"])

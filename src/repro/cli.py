@@ -64,6 +64,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also run a preloading baseline for comparison")
     run_p.add_argument("--time-limit", type=float, default=5.0,
                        help="LC-OPG solver budget in seconds")
+    run_p.add_argument("--portfolio", type=int, default=0,
+                       help="portfolio width K for per-window CP solves "
+                            "(K-1 alternate heuristics race for certificates)")
     run_p.add_argument("--solver-stats", action="store_true",
                        help="print the per-window CP solver statistics table")
 
@@ -72,6 +75,8 @@ def _build_parser() -> argparse.ArgumentParser:
     plan_p.add_argument("--device", default="OnePlus 12",
                        help="device preset name or alias (e.g. 'oneplus12')")
     plan_p.add_argument("--time-limit", type=float, default=5.0)
+    plan_p.add_argument("--portfolio", type=int, default=0,
+                        help="portfolio width K for per-window CP solves")
     plan_p.add_argument("--out", default=None, help="write the plan JSON here")
     plan_p.add_argument("--solver-stats", action="store_true",
                        help="print the per-window CP solver statistics table")
@@ -87,6 +92,8 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="number of hotspot rows to print (default 25)")
     prof_compile.add_argument("--time-limit", type=float, default=5.0,
                               help="LC-OPG solver budget in seconds")
+    prof_compile.add_argument("--portfolio", type=int, default=0,
+                              help="portfolio width K for per-window CP solves")
     prof_run = prof_sub.add_parser(
         "run", help="cProfile one FlashMem.run (simulation hot path) and print hotspots"
     )
@@ -213,16 +220,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     device = get_device(args.device)
     graph = load_model(args.model)
-    config = FlashMemConfig(opg=OpgConfig(time_limit_s=args.time_limit))
+    config = FlashMemConfig(
+        opg=OpgConfig(time_limit_s=args.time_limit, portfolio=args.portfolio)
+    )
     fm = FlashMem(config)
     print(f"Profiling compile of {graph.summary()} for {device.name} ...")
     profiler = cProfile.Profile()
     profiler.enable()
     compiled = fm.compile(graph, device)
     profiler.disable()
+    stats = compiled.plan.stats
     print(f"compile finished in {compiled.compile_s:.2f}s "
-          f"(status {compiled.plan.stats.solver_status}); "
-          f"top {args.top} functions by cumulative time:")
+          f"(status {stats.solver_status})")
+    print(f"  phase split: process {stats.process_nodes_s:.3f}s, "
+          f"build {stats.build_model_s:.3f}s, cp {stats.cp_solve_s:.3f}s, "
+          f"prover {stats.exact_prover_s:.3f}s, greedy {stats.greedy_s:.3f}s "
+          f"({stats.edf_calls} EDF oracle calls; "
+          f"{stats.windows_reused}/{stats.windows} windows replayed)")
+    print(f"top {args.top} functions by cumulative time:")
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
     if compiled.fusion_report is not None and compiled.fusion_report.solver_iterations:
         _print_fusion_iterations(compiled.fusion_report)
@@ -232,7 +247,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     graph = load_model(args.model)
-    config = FlashMemConfig(opg=OpgConfig(time_limit_s=args.time_limit))
+    config = FlashMemConfig(
+        opg=OpgConfig(time_limit_s=args.time_limit, portfolio=args.portfolio)
+    )
     fm = FlashMem(config)
     print(f"Compiling {graph.summary()} for {device.name} ...")
     compiled = fm.compile(graph, device, target_preload_ratio=args.preload_ratio)
@@ -270,7 +287,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
     device = get_device(args.device)
     graph = load_model(args.model)
-    config = OpgConfig(time_limit_s=args.time_limit)
+    config = OpgConfig(time_limit_s=args.time_limit, portfolio=args.portfolio)
     plan = LcOpgSolver(config).solve(
         graph, analytic_capacity_model(device), device_name=device.name
     )

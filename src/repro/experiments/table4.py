@@ -111,12 +111,17 @@ def run(
     models: List[str] = None,
     solver: str = "trail",
 ) -> Table4Result:
-    """``solver`` selects the CP engine: "trail" (production) or "naive"
-    (the seed architecture, kept for A/B benchmarking)."""
+    """``solver`` selects the CP engine: "trail" (production, bitset),
+    "queue" (the PR-5 dirty-queue engine), or "naive" (the seed
+    architecture, kept for A/B benchmarking)."""
     from repro.opg.cpsat.naive import NaiveCpSolver
     from repro.opg.cpsat.search import CpSolver
 
-    factory = {"trail": CpSolver, "naive": NaiveCpSolver}[solver]
+    factory = {
+        "trail": CpSolver,
+        "queue": lambda **kw: CpSolver(engine="queue", **kw),
+        "naive": NaiveCpSolver,
+    }[solver]
     capacity = cached_capacity(device)
     rows = []
     for model in models or MODELS:

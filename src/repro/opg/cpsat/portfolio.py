@@ -1,0 +1,209 @@
+"""Portfolio branch-and-bound: race alternate heuristics for certificates.
+
+``PortfolioCpSolver`` is a drop-in :class:`CpSolver` replacement (same
+``(time_limit_s=, max_nodes=)`` factory signature, same ``solve``) that
+runs the canonical search in-process while K-1 *alternate* searches —
+most-constrained-first branching and random-restart branching seeded from
+the model fingerprint — race in worker processes.
+
+The protocol is certificate-only, which is what keeps plans byte-identical
+with the portfolio on or off:
+
+- alternates never contribute solution values; their only output is a
+  proven-OPTIMAL objective (a *certificate*), delivered to the canonical
+  search through a shared cell;
+- the canonical search polls the cell at incumbent updates only.  A
+  certificate adds a stop condition — it never steers pruning or variable
+  selection — so the canonical tree prefix is identical to the
+  portfolio-off search, and the early-stopped incumbent is exactly the
+  incumbent that search would have returned (no search improves past a
+  proven optimum);
+- statuses only upgrade (FEASIBLE -> OPTIMAL when the incumbent meets a
+  certificate); values never change.
+
+First-finisher-wins: the first alternate to prove optimality sets the
+cell; once the canonical solve returns, outstanding alternates are
+cancelled.  Certificates are also published to a bounded module-level
+read-through memo keyed by model fingerprint, so periodic windows that
+miss the higher-level ``WindowCache`` still start with a known target.
+
+On a single usable core (``os.cpu_count() < 2`` — exactly the CI shape
+the sweep benchmarks guard against) the portfolio degrades to the plain
+sequential :class:`CpSolver`: racing processes on one core only adds
+scheduler overhead.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.opg.cpsat.model import CpModel, Solution
+from repro.opg.cpsat.search import CpSolver
+
+#: Cap on the certificate memo (FIFO eviction); each entry is one int.
+_MEMO_ENTRIES = 4096
+
+_CERT_MEMO: Dict[Tuple, int] = {}
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def model_fingerprint(model: CpModel) -> Tuple:
+    """Structural identity of a model: domains, constraints, objective.
+
+    Hints are included — they steer the canonical search but not the
+    *optimal objective value*, strictly speaking; they stay in the key
+    anyway so the memo never has to reason about search behaviour.
+    """
+    return (
+        tuple((v.lo, v.hi, v.hint) for v in model.variables),
+        tuple((tuple(c.terms), c.lo, c.hi) for c in model.linears),
+        tuple((i.cond, i.cond_ge, i.then, i.then_ub) for i in model.implications),
+        tuple(model.objective),
+        model.objective_offset,
+    )
+
+
+def _remember_certificate(key: Tuple, objective: int) -> None:
+    if key not in _CERT_MEMO and len(_CERT_MEMO) >= _MEMO_ENTRIES:
+        _CERT_MEMO.pop(next(iter(_CERT_MEMO)))
+    _CERT_MEMO[key] = objective
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pay the import cost once per worker, not per window."""
+    import repro.opg.cpsat.search  # noqa: F401
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_portfolio_pool() -> None:
+    """Tear down the shared alternate pool (tests; atexit)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_portfolio_pool)
+
+
+def _alternate_solve(
+    model: CpModel,
+    branching: str,
+    seed: int,
+    time_limit_s: float,
+    max_nodes: int,
+    engine: str,
+) -> Tuple[str, Optional[int]]:
+    """Worker-side alternate: solve and return only (status, objective)."""
+    solution = CpSolver(
+        time_limit_s=time_limit_s,
+        max_nodes=max_nodes,
+        engine=engine,
+        branching=branching,
+        seed=seed,
+    ).solve(model)
+    return solution.status.value, solution.objective
+
+
+class PortfolioCpSolver:
+    """K-way portfolio over branching heuristics (see module docstring).
+
+    ``k`` counts the canonical search: ``k=3`` races two alternates
+    (most-constrained, then random-restart) against it.  ``k < 2``, or a
+    single usable core, falls back to the plain sequential solver.
+    """
+
+    #: Alternate strategy rotation (seeds vary per slot and fingerprint).
+    STRATEGIES = ("constrained", "random")
+
+    def __init__(
+        self,
+        *,
+        time_limit_s: float = 10.0,
+        max_nodes: int = 2_000_000,
+        k: int = 2,
+        engine: str = "bitset",
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.time_limit_s = time_limit_s
+        self.max_nodes = max_nodes
+        self.k = k
+        self.engine = engine
+
+    def _alternates(self, fingerprint: Tuple) -> List[Tuple[str, int]]:
+        """(branching, seed) per alternate slot; random seeds derive from
+        the window fingerprint so reruns race the same portfolio."""
+        base = hash(fingerprint) & 0x7FFFFFFF
+        slots = []
+        for slot in range(self.k - 1):
+            strategy = self.STRATEGIES[slot % len(self.STRATEGIES)]
+            slots.append((strategy, base + slot))
+        return slots
+
+    def solve(self, model: CpModel) -> Solution:
+        fingerprint = model_fingerprint(model)
+        cell: List[Optional[int]] = [_CERT_MEMO.get(fingerprint)]
+        alternates = self._alternates(fingerprint)
+        futures = []
+        if alternates and cell[0] is None and _usable_cores() >= 2:
+            pool = _pool(len(alternates))
+
+            def _note(future) -> None:
+                if future.cancelled():
+                    return
+                exc = future.exception()
+                if exc is not None:
+                    return  # a dead alternate only costs its certificate
+                status, objective = future.result()
+                if status == "OPTIMAL" and objective is not None:
+                    current = cell[0]
+                    cell[0] = objective if current is None else min(current, objective)
+
+            for branching, seed in alternates:
+                future = pool.submit(
+                    _alternate_solve,
+                    model,
+                    branching,
+                    seed,
+                    self.time_limit_s,
+                    self.max_nodes,
+                    self.engine,
+                )
+                future.add_done_callback(_note)
+                futures.append(future)
+
+        solution = CpSolver(
+            time_limit_s=self.time_limit_s,
+            max_nodes=self.max_nodes,
+            engine=self.engine,
+            target_supplier=lambda: cell[0],
+        ).solve(model)
+
+        for future in futures:
+            future.cancel()
+        if solution.status.value == "OPTIMAL" and solution.objective is not None:
+            _remember_certificate(fingerprint, solution.objective)
+        return solution

@@ -183,6 +183,10 @@ class IncrementalPropagator:
             self._enqueue_watchers(var, -1)
         return self._drain(trail, stats)
 
+    def abandon(self) -> None:
+        """No-op (engine API): this engine seeds per ``propagate_from`` call,
+        so a pruned node leaves nothing pending to drop."""
+
     # ------------------------------------------------------------ internals
     def _enqueue_watchers(self, var: int, skip_cid: int) -> None:
         queue, in_queue = self._queue, self._in_queue

@@ -26,9 +26,11 @@ oracle and the benchmark baseline.
 
 from __future__ import annotations
 
+import random
 import time
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
+from repro.opg.cpsat.bitset import BitsetState
 from repro.opg.cpsat.model import CpModel, Solution, SolveStatus
 from repro.opg.cpsat.propagation import Domains, IncrementalPropagator, Trail
 from repro.opg.cpsat.stats import PropagationStats, SolverStats
@@ -39,20 +41,75 @@ _TIME_CHECK_MASK = 31
 
 
 class CpSolver:
-    """Configurable branch-and-bound solver (trail + incremental propagation)."""
+    """Configurable branch-and-bound solver (trail + incremental propagation).
 
-    def __init__(self, *, time_limit_s: float = 10.0, max_nodes: int = 2_000_000) -> None:
+    ``engine`` selects the propagation backend:
+
+    - ``"bitset"`` (default): :class:`repro.opg.cpsat.bitset.BitsetState` —
+      packed watcher bitsets, resident constraint sums, unassigned-variable
+      bitset branching (this PR);
+    - ``"queue"``: the PR-5 dirty-queue :class:`IncrementalPropagator` +
+      :class:`Trail`, kept as the A/B baseline and for the engine-toggle
+      byte-identity tests.
+
+    Both engines stop every propagation at the same unique bounds fixpoint
+    and select identical branching variables, so the search tree — and
+    therefore every returned solution — is byte-identical across engines
+    whenever the node budget (not wall-clock) is the binding limit.
+
+    ``branching`` selects the variable-selection heuristic: "hint" (the
+    production default: smallest domain, objective variables first),
+    "constrained" (most-constrained-first by linear-constraint degree), or
+    "random" (uniform over unassigned, deterministic under ``seed``).  The
+    alternates exist for the portfolio (:mod:`repro.opg.cpsat.portfolio`);
+    only "hint" carries the cross-engine byte-identity guarantee.
+
+    ``target_supplier``, when given, is polled for an externally *proven*
+    optimal objective value (a portfolio certificate).  It only adds a stop
+    condition — once the incumbent reaches the certificate the solve ends,
+    OPTIMAL, with exactly the incumbent the un-targeted search would have
+    returned (the search never improves past a proven optimum, and no
+    pruning decision reads the target, so the explored prefix is identical
+    up to the stop point).
+    """
+
+    def __init__(
+        self,
+        *,
+        time_limit_s: float = 10.0,
+        max_nodes: int = 2_000_000,
+        engine: str = "bitset",
+        branching: str = "hint",
+        seed: int = 0,
+        target_supplier: Optional[Callable[[], Optional[int]]] = None,
+    ) -> None:
+        if engine not in ("bitset", "queue"):
+            raise ValueError(f"unknown engine {engine!r}; use 'bitset' or 'queue'")
+        if branching not in ("hint", "constrained", "random"):
+            raise ValueError(
+                f"unknown branching {branching!r}; use 'hint', 'constrained', or 'random'"
+            )
         self.time_limit_s = time_limit_s
         self.max_nodes = max_nodes
+        self.engine = engine
+        self.branching = branching
+        self.seed = seed
+        self.target_supplier = target_supplier
 
     def solve(self, model: CpModel) -> Solution:
         start = time.perf_counter()
         deadline = start + self.time_limit_s
         stats = SolverStats()
         index = model.freeze()
-        domains = Domains.from_model(model)
-        trail = Trail(domains, obj_coef=index.obj_coef, obj_offset=model.objective_offset)
-        propagator = IncrementalPropagator(model)
+        if self.engine == "bitset":
+            state = BitsetState(model)
+            domains = trail = propagator = state
+            select = state.select_variable
+        else:
+            domains = Domains.from_model(model)
+            trail = Trail(domains, obj_coef=index.obj_coef, obj_offset=model.objective_offset)
+            propagator = IncrementalPropagator(model)
+            select = None
         has_obj = bool(model.objective)
 
         # One cumulative PropagationStats for the whole solve (allocating
@@ -78,6 +135,16 @@ class CpSolver:
 
         lo, hi = domains.lo, domains.hi
         obj_vars = index.obj_vars
+        if self.branching == "constrained":
+            degree = [len(ids) for ids in index.var_linears]
+            select = lambda: self._select_most_constrained(lo, hi, degree)  # noqa: E731
+        elif self.branching == "random":
+            rng = random.Random(self.seed)
+            select = lambda: self._select_random(lo, hi, rng)  # noqa: E731
+        elif select is None:
+            select = lambda: self._select_variable(lo, hi, obj_vars)  # noqa: E731
+        target: Optional[int] = None
+        target_supplier = self.target_supplier
         # Iterative DFS over branch ops.  Each entry restores the trail to
         # ``mark`` (the parent's state) and then applies ``var in
         # [child_lo, child_hi]``; the root sentinel applies nothing.
@@ -104,6 +171,7 @@ class CpSolver:
                 pruned = best_obj is not None and has_obj and trail.lower_bound >= best_obj
                 stats.time_bound_s += time.perf_counter() - t0
                 if pruned:
+                    propagator.abandon()
                     continue
 
                 t0 = time.perf_counter()
@@ -118,7 +186,7 @@ class CpSolver:
                 continue  # cannot improve
 
             t0 = time.perf_counter()
-            branch_var = self._select_variable(lo, hi, obj_vars)
+            branch_var = select()
             if branch_var is None:
                 stats.time_branch_s += time.perf_counter() - t0
                 values = list(lo)
@@ -129,6 +197,15 @@ class CpSolver:
                     if not has_obj:
                         break  # satisfaction problem: first solution wins
                     if root_bound is not None and obj <= root_bound:
+                        proven_by_bound = True
+                        break
+                    # Portfolio certificate: an alternate proved the optimum.
+                    # Polled only at incumbent updates — the target never
+                    # steers pruning or selection, so the tree explored so
+                    # far matches the certificate-free search exactly.
+                    if target is None and target_supplier is not None:
+                        target = target_supplier()
+                    if target is not None and obj <= target:
                         proven_by_bound = True
                         break
                 continue
@@ -149,6 +226,14 @@ class CpSolver:
                 wall_time_s=stats.wall_time_s,
                 stats=stats,
             )
+        # Late certificate: the proof may land after the last incumbent
+        # update — one final poll upgrades FEASIBLE to OPTIMAL (values are
+        # already the ones the certificate-free search would return).
+        if not proven_by_bound and best_obj is not None and target_supplier is not None:
+            if target is None:
+                target = target_supplier()
+            if target is not None and best_obj <= target:
+                proven_by_bound = True
         proven = proven_by_bound or not (timed_out or node_budget_hit)
         status = SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE
         return Solution(
@@ -180,6 +265,26 @@ class CpSolver:
                 best_key = key
                 best_idx = idx
         return best_idx
+
+    @staticmethod
+    def _select_most_constrained(lo, hi, degree: List[int]) -> Optional[int]:
+        """Portfolio alternate: branch on the unassigned variable watched by
+        the most linear constraints (ties: lowest index)."""
+        best_idx: Optional[int] = None
+        best_deg = -1
+        for idx in range(len(lo)):
+            if hi[idx] > lo[idx] and degree[idx] > best_deg:
+                best_deg = degree[idx]
+                best_idx = idx
+        return best_idx
+
+    @staticmethod
+    def _select_random(lo, hi, rng: random.Random) -> Optional[int]:
+        """Portfolio alternate: uniform over unassigned (deterministic seed)."""
+        open_vars = [idx for idx in range(len(lo)) if hi[idx] > lo[idx]]
+        if not open_vars:
+            return None
+        return rng.choice(open_vars)
 
     @staticmethod
     def _branches(model: CpModel, domains: Domains, idx: int) -> List[Tuple[int, int]]:

@@ -61,16 +61,27 @@ class Budgets:
         self.m_peak[layer] += chunks
         self._avail[layer] = max(0, min(self.capacity[layer], self.m_peak[layer]))
 
-    def scale_capacity(self, factor: float) -> bool:
+    def scale_capacity(self, factor: float, layers: Optional[Sequence[int]] = None) -> bool:
         """Soft thresholding: relax remaining capacities (C4 tier 1).
+
+        ``layers`` scopes the relaxation to the window that needs rescuing
+        (the quota is still charged globally); ``None`` relaxes every layer.
+        Scoping keeps a soft round fired by one window from silently
+        changing the budgets every downstream window observes — which is
+        what lets the window-reuse fingerprint stay phase-free.
 
         Returns False when the global relaxation quota is exhausted.
         """
         if self.soft_rounds_used >= self.max_soft_rounds:
             return False
-        self.capacity = [int(c * factor) for c in self.capacity]
+        if layers is None:
+            self.capacity = [int(c * factor) for c in self.capacity]
+            self._avail = [max(0, min(c, m)) for c, m in zip(self.capacity, self.m_peak)]
+        else:
+            for layer in layers:
+                self.capacity[layer] = int(self.capacity[layer] * factor)
+                self._avail[layer] = max(0, min(self.capacity[layer], self.m_peak[layer]))
         self.soft_rounds_used += 1
-        self._avail = [max(0, min(c, m)) for c, m in zip(self.capacity, self.m_peak)]
         return True
 
 

@@ -22,22 +22,33 @@ first-class metric (the paper budgets 150 s per model), and the dominant
 cold-path cost is the adaptive-fusion loop re-running this solver from
 scratch after every round of splits even though splits touch only a
 handful of nodes.  The solver therefore fingerprints every rolling window
-— its weights, the local budget state, the global soft-round quota, and
-the solver configuration, all translated to window-relative layer
-coordinates so upstream graph edits that merely *shift* absolute indices
-still match — and replays the cached outcome (schedules, statuses,
-budget consumption, deferred hand-offs) for windows whose fingerprint is
-unchanged.  Replay applies the exact mutation sequence a fresh solve
-would: soft-round rescales first, then per-layer chunk consumption, so
-downstream windows observe identical budgets either way.  The invariant
-(and its wall-clock caveat) is documented in DESIGN.md "compile-path
-performance"; ``tests/fusion/test_adaptive_reuse_equivalence`` holds the
-reuse path to byte-identical plans.
+in *canonical coordinates* — weight identity is positional (names never
+enter the key, so fusion renames alone cannot miss), candidate layers are
+expressed as rank-in-window plus distance-to-consumer (so upstream edits
+that shift or renumber absolute indices still match), and budgets are
+keyed only at the layers the window can actually touch — and replays the
+cached outcome (schedules, statuses, budget consumption, deferred
+hand-offs) for windows whose fingerprint is unchanged.  Three further
+properties make the fingerprints stable across adaptive-fusion
+iterations: soft-threshold rescales are *scoped* to the window that
+needs rescuing (one window's tier-1 round no longer perturbs every
+downstream budget), the window partition snaps to the model's structural
+period (so a split invalidates the containing block instead of shifting
+every downstream window boundary), and periodic models make windows
+translation-equivalent to *each other*, so replay fires within a single
+cold solve as well as across iterations.  Replay applies the exact
+mutation sequence a fresh solve would: scoped soft-round rescales first,
+then per-layer chunk consumption, so downstream windows observe
+identical budgets either way.  The invariant (and its wall-clock caveat)
+is documented in DESIGN.md "compile-path performance";
+``tests/fusion/test_adaptive_reuse_equivalence`` holds the reuse path to
+byte-identical plans.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -58,22 +69,35 @@ DEDICATED = object()
 
 @dataclass
 class _WindowEntry:
-    """Everything needed to replay one solved window without re-solving.
+    """Everything needed to patch one solved window into a new plan without
+    re-solving.
 
-    Layer indices are stored relative to the window's fingerprint base so an
-    entry recorded at one absolute position replays correctly after graph
-    edits shift the window (``assignments`` maps weight name to ``None`` for
-    preload, the DEDICATED sentinel, or a relative-layer chunk map).
-    ``deferred`` keeps the weights' original defer order — the rescue pass
-    is order-sensitive for equal consumer layers.
+    The entry is fully *positional*: ``assignments`` maps a weight's index
+    in the window sequence to ``None`` for preload, the DEDICATED sentinel,
+    or a rank-keyed chunk map, and ``deferred`` holds window indices in the
+    original defer order (the rescue pass is order-sensitive for equal
+    consumer layers).  Layer indices are stored as ranks into the window's
+    canonical layer list (the sorted union of its streaming weights'
+    candidate layers).  Together these let an entry recorded at one
+    absolute position — under entirely different weight names — replay
+    correctly after graph edits shift, re-number, or rename the window.
+
+    ``soft_sensitive`` marks entries whose solve *read* the global
+    soft-round quota (some weight was deferred before tier 1 ran); only
+    those entries are pinned to the quota state they were recorded under
+    (``soft_rounds_left``).  Quota-insensitive windows — the overwhelming
+    majority — replay at any quota phase, which is what stops one early
+    soft round from cascading misses through every downstream window.
     """
 
     status: SolveStatus
     soft_rounds: int
     heuristic_windows: int
-    assignments: Dict[str, object]
-    deferred: Tuple[str, ...]
+    assignments: Dict[int, object]
+    deferred: Tuple[int, ...]
     consumption: Tuple[Tuple[int, int], ...]
+    soft_sensitive: bool = False
+    soft_rounds_left: int = 0
 
 
 class WindowCache:
@@ -102,6 +126,24 @@ class WindowCache:
         self._entries[key] = entry
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+
+    # Soft-quota-aware addressing: quota-sensitive entries live under the
+    # quota state they were recorded at, insensitive ones under ``None`` —
+    # so variants for different quota phases coexist instead of thrashing
+    # one slot, and a lookup counts exactly one hit or miss.
+    def lookup(self, core_key: object, soft_rounds_left: int) -> Optional[_WindowEntry]:
+        entry = self._entries.get((core_key, soft_rounds_left))
+        if entry is None:
+            entry = self._entries.get((core_key, None))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(self, core_key: object, entry: _WindowEntry) -> None:
+        tag = entry.soft_rounds_left if entry.soft_sensitive else None
+        self.put((core_key, tag), entry)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -139,13 +181,28 @@ class LcOpgSolver:
         self.use_cp = use_cp
         #: CpSolver-compatible factory ``(time_limit_s=, max_nodes=) -> solver``;
         #: benchmarks inject NaiveCpSolver here to A/B the seed architecture.
-        self.solver_factory = solver_factory or CpSolver
+        #: ``config.portfolio >= 2`` selects the portfolio solver unless the
+        #: caller injected a factory explicitly.
+        if solver_factory is not None:
+            self.solver_factory = solver_factory
+        elif self.config.portfolio >= 2:
+            from repro.opg.cpsat.portfolio import PortfolioCpSolver
+
+            self.solver_factory = functools.partial(
+                PortfolioCpSolver, k=self.config.portfolio
+            )
+        else:
+            self.solver_factory = CpSolver
         self.exact_engine = exact_engine
         self._edf = edf_feasible if exact_engine == "fast" else edf_feasible_reference
         self.window_cache: Optional[WindowCache] = (
             WindowCache(self.config.window_cache_entries) if self.config.window_reuse else None
         )
         self._cache_config_key = self._config_key()
+        #: (period, leader signature) detected on the first partition and
+        #: pinned for the solver's lifetime, so every adaptive-fusion
+        #: iteration snaps windows to the same structural grid.
+        self._period: Optional[Tuple[int, Optional[Tuple]]] = None
 
     # ------------------------------------------------------------------ API
     def solve(
@@ -189,7 +246,8 @@ class LcOpgSolver:
             fingerprint = base = None
             if self.window_cache is not None:
                 fingerprint, base = self._window_fingerprint(window_weights, budgets, forced_preloads)
-                entry = self.window_cache.get(fingerprint)
+                rounds_left = budgets.max_soft_rounds - budgets.soft_rounds_used
+                entry = self.window_cache.lookup(fingerprint, rounds_left)
                 if entry is not None:
                     self._replay_window(
                         problem, window_weights, entry, base, budgets, schedules, statuses, stats, deferred
@@ -199,9 +257,10 @@ class LcOpgSolver:
             remaining_time = max(0.05, deadline - time.perf_counter())
             window_limit = remaining_time / remaining_windows
             soft_before = budgets.soft_rounds_used
+            rounds_left_before = budgets.max_soft_rounds - soft_before
             heuristic_before = stats.heuristic_windows
             deferred_before = len(deferred)
-            assignments, status = self._solve_window(
+            assignments, status, soft_sensitive = self._solve_window(
                 problem, window_weights, budgets, forced_preloads, window_limit, stats, deferred
             )
             statuses.append(status)
@@ -211,7 +270,7 @@ class LcOpgSolver:
                     continue  # scheduled by the rescue pass below
                 schedules[w.name] = self._make_schedule(problem, w, assignments.get(w.name))
             if self.window_cache is not None:
-                self.window_cache.put(
+                self.window_cache.store(
                     fingerprint,
                     self._record_window(
                         window_weights,
@@ -221,6 +280,8 @@ class LcOpgSolver:
                         soft_rounds=budgets.soft_rounds_used - soft_before,
                         heuristic_delta=stats.heuristic_windows - heuristic_before,
                         deferred_names=tuple(w.name for w in deferred[deferred_before:]),
+                        soft_sensitive=soft_sensitive,
+                        soft_rounds_left=rounds_left_before,
                     ),
                 )
 
@@ -269,80 +330,109 @@ class LcOpgSolver:
         return (tuple(items), self.use_cp, self.exact_engine, self.solver_factory)
 
     @staticmethod
-    def _window_span(window_weights: Sequence[WeightInfo]) -> Tuple[int, int]:
-        """Layer interval ``[lo, hi)`` a window's solve can read or write."""
-        lo = min(
-            min(w.candidates) if w.candidates else w.consumer_layer for w in window_weights
-        )
-        hi = max(w.consumer_layer for w in window_weights)
-        return lo, hi
+    def _canonical_layers(
+        window_weights: Sequence[WeightInfo], forced_preloads: set
+    ) -> Tuple[int, ...]:
+        """Sorted union of the streaming weights' candidate layers.
+
+        These are exactly the layers a window solve reads or writes: every
+        capacity-bearing layer inside a weight's EDF segment is one of its
+        candidates (candidate sets are "all capacity>0 layers in the
+        lookback interval"), so layers outside this union either belong to
+        other windows or can never receive chunks.
+        """
+        layer_set = set()
+        for w in window_weights:
+            if w.forced_preload or w.dedicated_transform or w.name in forced_preloads:
+                continue
+            layer_set.update(w.candidates)
+        return tuple(sorted(layer_set))
 
     def _window_fingerprint(
         self,
         window_weights: Sequence[WeightInfo],
         budgets: Budgets,
         forced_preloads: set,
-    ) -> Tuple[object, int]:
-        """Content-address one window; returns ``(key, base)``.
+    ) -> Tuple[object, Tuple[int, ...]]:
+        """Content-address one window; returns ``(key, base_layers)``.
 
-        The key captures every input ``_solve_window`` reads — weight
-        shapes, candidate sets, forced-preload membership, the budget state
-        over the window's span, and the global soft-round quota — with all
-        layer indices expressed relative to ``base`` so that fusion splits
-        upstream (which shift the whole window by a constant) still hit.
+        The key captures every input ``_solve_window`` reads, in *canonical
+        coordinates*: weight identity is positional (window order is the
+        deterministic ``(consumer_layer, name)`` sort, and every inner sort
+        the solve performs is stable on that order, so names cannot steer
+        the outcome), each candidate layer is identified by its rank in the
+        window's layer union plus its distance to the weight's consumer,
+        and budgets are keyed only at union layers.  Two windows that
+        differ by a constant layer shift, by weight renames, or by graph
+        edits that insert or delete layers the window never touches
+        therefore hash identically, while anything the solve can observe
+        (candidate sharing structure, every objective distance, raw
+        capacity and M_peak at readable layers) still forces a miss when
+        it changes.  The global soft-round quota is deliberately *not*
+        part of the key: most windows never read it, and the cache pins
+        only quota-sensitive entries to the quota state they were recorded
+        under (see :class:`_WindowEntry`).
         """
-        lo, hi = self._window_span(window_weights)
-        weights_key = tuple(
-            (
-                w.name,
-                w.nbytes,
-                w.total_chunks,
-                w.consumer_layer - lo,
-                w.dedicated_transform,
-                w.name in forced_preloads,
-                tuple(c - lo for c in w.candidates),
+        layers = self._canonical_layers(window_weights, forced_preloads)
+        rank = {l: i for i, l in enumerate(layers)}
+        weights_key = []
+        for w in window_weights:
+            streaming = not (
+                w.forced_preload or w.dedicated_transform or w.name in forced_preloads
             )
-            for w in window_weights
-        )
+            weights_key.append(
+                (
+                    w.nbytes,
+                    w.total_chunks,
+                    w.dedicated_transform,
+                    not streaming,
+                    tuple(rank[c] for c in w.candidates) if streaming else (),
+                    tuple(w.consumer_layer - c for c in w.candidates) if streaming else (),
+                )
+            )
         budget_key = (
-            tuple(budgets.capacity[lo:hi]),
-            tuple(budgets.m_peak[lo:hi]),
-            budgets.soft_rounds_used,
-            budgets.max_soft_rounds,
+            tuple(budgets.capacity[l] for l in layers),
+            tuple(budgets.m_peak[l] for l in layers),
         )
-        return (weights_key, budget_key, self._cache_config_key), lo
+        return (tuple(weights_key), budget_key, self._cache_config_key), layers
 
     def _record_window(
         self,
         window_weights: Sequence[WeightInfo],
         assignments: Dict[str, object],
         status: SolveStatus,
-        base: int,
+        base: Tuple[int, ...],
         *,
         soft_rounds: int,
         heuristic_delta: int,
         deferred_names: Tuple[str, ...],
+        soft_sensitive: bool,
+        soft_rounds_left: int,
     ) -> _WindowEntry:
+        rank = {l: i for i, l in enumerate(base)}
+        position = {w.name: i for i, w in enumerate(window_weights)}
         deferred_set = set(deferred_names)
-        rel_assignments: Dict[str, object] = {}
+        rel_assignments: Dict[int, object] = {}
         consumption: List[Tuple[int, int]] = []
-        for w in window_weights:
+        for idx, w in enumerate(window_weights):
             if w.name in deferred_set:
                 continue
             assignment = assignments.get(w.name)
             if isinstance(assignment, dict):
-                rel = {layer - base: chunks for layer, chunks in assignment.items()}
-                rel_assignments[w.name] = rel
+                rel = {rank[layer]: chunks for layer, chunks in assignment.items()}
+                rel_assignments[idx] = rel
                 consumption.extend(sorted(rel.items()))
             else:
-                rel_assignments[w.name] = assignment  # None (preload) or DEDICATED
+                rel_assignments[idx] = assignment  # None (preload) or DEDICATED
         return _WindowEntry(
             status=status,
             soft_rounds=soft_rounds,
             heuristic_windows=heuristic_delta,
             assignments=rel_assignments,
-            deferred=deferred_names,
+            deferred=tuple(position[name] for name in deferred_names),
             consumption=tuple(consumption),
+            soft_sensitive=soft_sensitive,
+            soft_rounds_left=soft_rounds_left,
         )
 
     def _replay_window(
@@ -350,35 +440,36 @@ class LcOpgSolver:
         problem: OpgProblem,
         window_weights: Sequence[WeightInfo],
         entry: _WindowEntry,
-        base: int,
+        base: Tuple[int, ...],
         budgets: Budgets,
         schedules: Dict[str, WeightSchedule],
         statuses: List[SolveStatus],
         stats: PlanStats,
         deferred: List[WeightInfo],
     ) -> None:
-        """Re-apply a cached window: same mutation order as a fresh solve
-        (soft-round rescales, then chunk consumption), same outputs."""
+        """Patch a cached window into the plan being built: same mutation
+        order as a fresh solve (window-scoped soft-round rescales, then
+        chunk consumption), same outputs."""
         for _ in range(entry.soft_rounds):
-            if not budgets.scale_capacity(self.config.soft_threshold_factor):
-                # Unreachable: the quota state is part of the fingerprint.
+            if not budgets.scale_capacity(self.config.soft_threshold_factor, layers=base):
+                # Unreachable: quota-sensitive entries are pinned to the
+                # quota state they were recorded under.
                 raise RuntimeError("window replay exceeded the soft-round quota")
-        for rel_layer, chunks in entry.consumption:
-            budgets.consume(base + rel_layer, chunks)
+        for rank_idx, chunks in entry.consumption:
+            budgets.consume(base[rank_idx], chunks)
         statuses.append(entry.status)
         stats.windows_reused += 1
         stats.soft_threshold_rounds += entry.soft_rounds
         stats.heuristic_windows += entry.heuristic_windows
-        by_name = {w.name: w for w in window_weights}
-        for name in entry.deferred:
-            deferred.append(by_name[name])
+        for idx in entry.deferred:
+            deferred.append(window_weights[idx])
         deferred_set = set(entry.deferred)
-        for w in window_weights:
-            if w.name in deferred_set:
+        for idx, w in enumerate(window_weights):
+            if idx in deferred_set:
                 continue
-            assignment = entry.assignments[w.name]
+            assignment = entry.assignments[idx]
             if isinstance(assignment, dict):
-                assignment = {base + layer: chunks for layer, chunks in assignment.items()}
+                assignment = {base[r]: chunks for r, chunks in assignment.items()}
             schedules[w.name] = self._make_schedule(problem, w, assignment)
 
     # ------------------------------------------------------------- internals
@@ -402,22 +493,80 @@ class LcOpgSolver:
             preloaded += w.nbytes
         return pinned
 
+    @staticmethod
+    def _structure_sig(w: WeightInfo) -> Tuple:
+        """Shift- and name-invariant structural signature of one weight,
+        used to detect the model's repeating block period."""
+        return (
+            w.total_chunks,
+            w.dedicated_transform,
+            w.forced_preload,
+            tuple(w.consumer_layer - c for c in w.candidates),
+        )
+
     def _windows(self, problem: OpgProblem) -> List[List[WeightInfo]]:
         """Partition weights (consumer-layer order) into rolling windows of
-        at most ``window_weights`` weights.
+        at most ``window_weights`` weights, snapped to the model's
+        structural period.
 
         Counting weights rather than layers bounds each CP model's size
         directly, and makes the partition *insertion-invariant*: fusion
         splits insert layers but conserve the weight sequence, so every
-        window outside the edited region keeps exactly its membership —
-        the property the window-reuse cache needs to hit across
-        adaptive-fusion iterations (a layer-span rule lets each inserted
-        layer slide a weight across every downstream boundary, cascading
-        misses through the whole model).
+        window outside the edited region keeps exactly its membership.
+
+        On periodic models (transformer stacks), windows additionally snap
+        to block boundaries: the smallest period ``p`` of the structural
+        signature sequence is detected once per solver (and pinned for the
+        whole adaptive-fusion loop so every iteration partitions the same
+        way), window spans cover *two* periods (the lookback interaction
+        radius is about one block, so cross-block coupling inside a window
+        is preserved), and each boundary lands on the nearest occurrence of
+        the period's leader signature.  That buys the reuse cache two
+        properties a fixed-size partition cannot offer: a fusion split
+        re-synchronises at the next block leader instead of shifting every
+        downstream window boundary, and all clean block windows are
+        translation-equivalent — under canonical fingerprints they hash
+        identically, so replay fires even within a single cold solve.
         """
         ordered = sorted(problem.weights, key=lambda w: (w.consumer_layer, w.name))
         size = self.config.window_weights
-        return [ordered[i : i + size] for i in range(0, len(ordered), size)]
+        n = len(ordered)
+        if n <= size:
+            return [ordered] if ordered else []
+        sig = [self._structure_sig(w) for w in ordered]
+        detected = self._period
+        if detected is None:
+            period = 0
+            for p in range(4, size + 1):
+                matches = sum(1 for i in range(n - p) if sig[i] == sig[i + p])
+                if matches >= 0.5 * (n - p):
+                    period = p
+                    break
+            leader = None
+            if period:
+                counts: Dict[Tuple, int] = {}
+                for i in range(n - period):
+                    if sig[i] == sig[i + period]:
+                        counts[sig[i]] = counts.get(sig[i], 0) + 1
+                leader = max(counts.items(), key=lambda kv: kv[1])[0]
+            detected = self._period = (period, leader)
+        period, leader = detected
+        if not period:
+            return [ordered[i : i + size] for i in range(0, n, size)]
+        span = min(2 * period, size)
+        anchors = [i for i in range(n) if sig[i] == leader]
+        if not anchors:
+            return [ordered[i : i + size] for i in range(0, n, size)]
+        windows = []
+        start = 0
+        while start < n:
+            limit = start + span
+            cut = max((a for a in anchors if start < a <= limit), default=None)
+            if cut is None or cut <= start:
+                cut = limit
+            windows.append(ordered[start : min(cut, n)])
+            start = min(cut, n)
+        return windows
 
     def _solve_window(
         self,
@@ -428,10 +577,16 @@ class LcOpgSolver:
         time_limit_s: float,
         stats: PlanStats,
         deferred: List[WeightInfo],
-    ) -> Tuple[Dict[str, Optional[Dict[int, int]]], SolveStatus]:
+    ) -> Tuple[Dict[str, Optional[Dict[int, int]]], SolveStatus, bool]:
         """Schedule one window with the tiered fallback protocol.
 
-        Returns (assignments, status); an assignment of None means preload.
+        Returns (assignments, status, soft_sensitive); an assignment of None
+        means preload.  ``soft_sensitive`` is True when the solve's outcome
+        could depend on the global soft-round quota — i.e. some weight was
+        deferred before tier 1 ran, making the rescue loop's behaviour a
+        function of the rounds remaining.  Windows where nothing is
+        deferred never observe the quota (the rescue loop no-ops for any
+        quota state), which the window cache exploits.
         """
         to_stream = [
             w
@@ -447,7 +602,7 @@ class LcOpgSolver:
             if w.dedicated_transform and w.name not in forced_preloads:
                 assignments[w.name] = DEDICATED
         if not to_stream:
-            return assignments, SolveStatus.OPTIMAL
+            return assignments, SolveStatus.OPTIMAL, False
 
         preload_set: set = set()
 
@@ -469,6 +624,9 @@ class LcOpgSolver:
                     defer(w)
 
         pin_unfittable(to_stream)
+        # From here on the solve reads the soft-round quota iff something
+        # was deferred (the tier-1 loop below no-ops otherwise).
+        soft_sensitive = bool(deferred_here)
 
         def soft_rescuable() -> bool:
             """Whether relaxing C_l within the remaining quota could make
@@ -488,8 +646,13 @@ class LcOpgSolver:
             return False
 
         # Tier 1 (soft thresholding) rescues borderline weights before they
-        # are pinned for good, quota permitting.
-        while soft_rescuable() and budgets.scale_capacity(self.config.soft_threshold_factor):
+        # are pinned for good, quota permitting.  Rescales are scoped to
+        # the layers this window can touch, so downstream windows' budgets
+        # stay phase-free (see Budgets.scale_capacity).
+        scope = sorted({c for w in to_stream for c in w.candidates})
+        while soft_rescuable() and budgets.scale_capacity(
+            self.config.soft_threshold_factor, layers=scope
+        ):
             stats.soft_threshold_rounds += 1
             rescued = [w for w in to_stream if w.name in preload_set and solo_fits(w)]
             for w in rescued:
@@ -530,7 +693,7 @@ class LcOpgSolver:
                 placed, status = result
                 assignments.update(placed)
                 deferred.extend(deferred_here)
-                return assignments, status
+                return assignments, status, soft_sensitive
             cp_rounds += 1
             if cp_rounds <= 1 and len(streaming) > 1:
                 # One more CP attempt after deferring the single largest
@@ -549,7 +712,7 @@ class LcOpgSolver:
         stats.greedy_s += time.perf_counter() - greedy_start
         assignments.update(greedy)
         deferred.extend(deferred_here)
-        return assignments, SolveStatus.FEASIBLE
+        return assignments, SolveStatus.FEASIBLE, soft_sensitive
 
     def _cp_window(
         self,

@@ -69,16 +69,26 @@ class OpgConfig:
     #: Prover only engages when the incumbent is within this distance of
     #: the solo lower bound (wider gaps are combinatorial).
     prover_max_gap: int = 8
-    #: Cross-solve window reuse: fingerprint each rolling window and replay
-    #: the cached schedule when an identical window (same weights, same
-    #: local budgets, same soft-round state — translated to window-relative
-    #: coordinates) comes back, as it does for most windows across
-    #: adaptive-fusion iterations.  Reuse assumes the deterministic node
-    #: budgets, not wall-clock limits, bound the per-window searches (see
-    #: DESIGN.md "compile-path performance" for the exact invariant).
+    #: Cross-solve window reuse: fingerprint each rolling window in
+    #: canonical (positional, shift- and rename-invariant) coordinates and
+    #: replay the cached schedule when an equivalent window comes back —
+    #: as it does for most windows across adaptive-fusion iterations, and
+    #: between the repeated blocks of periodic models even within one
+    #: solve.  Reuse assumes the deterministic node budgets, not
+    #: wall-clock limits, bound the per-window searches (see DESIGN.md
+    #: "compile-path performance" for the exact invariant).
     window_reuse: bool = True
     #: FIFO capacity of the window cache, in entries.
     window_cache_entries: int = 4096
+    #: Portfolio width K for the per-window CP solves: K-1 alternate
+    #: branching heuristics race the canonical search in worker processes,
+    #: supplying proven-optimal certificates that let it stop early (see
+    #: :mod:`repro.opg.cpsat.portfolio`).  Certificates only upgrade
+    #: statuses — plans are byte-identical with the portfolio on or off.
+    #: 0/1 disable; on a single usable core the portfolio always runs
+    #: sequentially (the alternates would just steal the canonical
+    #: search's core).
+    portfolio: int = 0
     preload_hint_weights: frozenset = frozenset()
 
     def __post_init__(self) -> None:

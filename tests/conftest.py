@@ -1,0 +1,19 @@
+"""Test-suite collection hooks.
+
+``benchsmoke``-marked tests (quick capped passes over the benchmark
+suite, see ``tests/test_benchsmoke.py``) are skipped unless explicitly
+selected with ``pytest -m benchsmoke`` — the tier-1 suite must stay fast
+and dependency-light.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    markexpr = config.getoption("-m", default="")
+    if markexpr and "benchsmoke" in markexpr:
+        return
+    skip = pytest.mark.skip(reason="benchsmoke suite: select with -m benchsmoke")
+    for item in items:
+        if "benchsmoke" in item.keywords:
+            item.add_marker(skip)

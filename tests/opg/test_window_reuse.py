@@ -44,10 +44,21 @@ class TestFingerprint:
         budgets = Budgets([3] * 40, [10] * 40)
         window = [_w("a", 2, 10, range(6, 10)), _w("b", 3, 12, range(8, 12))]
         shifted = [_w("a", 2, 17, range(13, 17)), _w("b", 3, 19, range(15, 19))]
-        key1, lo1 = solver._window_fingerprint(window, budgets, set())
-        key2, lo2 = solver._window_fingerprint(shifted, budgets, set())
+        key1, base1 = solver._window_fingerprint(window, budgets, set())
+        key2, base2 = solver._window_fingerprint(shifted, budgets, set())
         assert key1 == key2
-        assert lo2 - lo1 == 7
+        assert base2[0] - base1[0] == 7
+
+    def test_rename_invariant(self):
+        """Weight identity is positional: renaming every weight (as fusion
+        splits do to downstream node ids) must still hit."""
+        solver = LcOpgSolver(FAST)
+        budgets = Budgets([3] * 40, [10] * 40)
+        window = [_w("a", 2, 10, range(6, 10)), _w("b", 3, 12, range(8, 12))]
+        renamed = [_w("p", 2, 10, range(6, 10)), _w("q", 3, 12, range(8, 12))]
+        key1, _ = solver._window_fingerprint(window, budgets, set())
+        key2, _ = solver._window_fingerprint(renamed, budgets, set())
+        assert key1 == key2
 
     def test_budget_drift_misses(self):
         """Different availability over the window span must not match."""
@@ -60,8 +71,11 @@ class TestFingerprint:
         key2, _ = solver._window_fingerprint(window, drifted, set())
         assert key1 != key2
 
-    def test_soft_round_state_in_key(self):
-        """Same capacities but a different relaxation quota state must miss."""
+    def test_soft_round_quota_not_in_key(self):
+        """Burning a quota round (capacities unchanged) must NOT invalidate
+        the key — only quota-*sensitive* entries are pinned to the quota
+        state they were recorded under (see ``_WindowEntry``), which is what
+        stops one early soft round from cascading misses downstream."""
         solver = LcOpgSolver(FAST)
         window = [_w("a", 2, 10, range(6, 10))]
         fresh = Budgets([3] * 40, [10] * 40)
@@ -69,7 +83,19 @@ class TestFingerprint:
         relaxed.scale_capacity(1.0)  # burns the round, capacities unchanged
         key1, _ = solver._window_fingerprint(window, fresh, set())
         key2, _ = solver._window_fingerprint(window, relaxed, set())
-        assert key1 != key2
+        assert key1 == key2
+
+    def test_budget_keyed_at_candidate_layers_only(self):
+        """Capacity drift at layers no window weight can touch must hit:
+        the canonical key reads budgets only at the candidate-layer union."""
+        solver = LcOpgSolver(FAST)
+        window = [_w("a", 2, 10, range(6, 10))]
+        clean = Budgets([3] * 40, [10] * 40)
+        drifted = Budgets([3] * 40, [10] * 40)
+        drifted.consume(15, 2)  # outside the union {6..9}
+        key1, _ = solver._window_fingerprint(window, clean, set())
+        key2, _ = solver._window_fingerprint(window, drifted, set())
+        assert key1 == key2
 
     def test_forced_preload_membership_in_key(self):
         solver = LcOpgSolver(FAST)
@@ -152,6 +178,27 @@ class TestWindowCache:
         assert len(cache) == 2
         assert cache.hits == 1 and cache.misses == 2
         assert 0.0 < cache.hit_rate < 1.0
+
+    def test_soft_sensitive_entries_pinned_to_quota_state(self):
+        """Quota-sensitive entries replay only at the quota state they were
+        recorded under; insensitive ones replay at any state."""
+        cache = WindowCache()
+        sensitive = _WindowEntry(
+            status=None, soft_rounds=1, heuristic_windows=0,
+            assignments={}, deferred=(), consumption=(),
+            soft_sensitive=True, soft_rounds_left=2,
+        )
+        cache.store("k", sensitive)
+        assert cache.lookup("k", 2) is sensitive
+        assert cache.lookup("k", 1) is None
+        insensitive = _WindowEntry(
+            status=None, soft_rounds=0, heuristic_windows=0,
+            assignments={}, deferred=(), consumption=(),
+        )
+        cache.store("k2", insensitive)
+        assert cache.lookup("k2", 2) is insensitive
+        assert cache.lookup("k2", 0) is insensitive
+        assert cache.hits == 3 and cache.misses == 1
 
 
 class TestBudgetsMemo:

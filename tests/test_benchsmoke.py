@@ -1,0 +1,89 @@
+"""Benchsmoke: capped quick pass over the benchmark suite.
+
+``pytest -m benchsmoke`` exercises every ``benchmarks/test_*.py`` without
+paying the full measurement cost:
+
+- every benchmark module is imported (module-level wiring — workload
+  tables, cache paths, seed-emulation helpers — executes and must be
+  sound);
+- the measurement pipelines this PR's infrastructure owns (solver
+  microbench, sweep runner, portfolio) additionally *run* under tiny
+  time/node caps, checking result structure rather than perf bars.
+
+Deselected by default (see ``tests/conftest.py``), so the tier-1 suite
+stays fast.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.benchsmoke
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(p for p in BENCH_DIR.glob("test_*.py"))
+
+
+def _load_bench_module(path: pathlib.Path):
+    """Import one benchmarks/test_*.py with the benchmarks dir importable
+    (they do ``from conftest import ...``)."""
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        name = f"benchsmoke_{path.stem}"
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+@pytest.mark.parametrize("path", BENCH_MODULES, ids=lambda p: p.stem)
+def test_bench_module_loads(path):
+    module = _load_bench_module(path)
+    # Every bench module exposes at least one pytest entry point.
+    assert any(name.startswith("test_") for name in dir(module))
+
+
+def test_solver_microbench_quick():
+    """Three-way engine comparison structure under a tiny node cap."""
+    from repro.opg.cpsat.bench import WORKLOAD, run_throughput_benchmark
+
+    result = run_throughput_benchmark(time_limit_s=0.5, max_nodes=500)
+    for side in ("trail", "queue", "naive"):
+        assert len(result[side]["windows"]) == len(WORKLOAD)
+    assert result["speedup_nodes_per_sec"] > 0
+    assert result["speedup_vs_queue"] > 0
+    assert len(result["per_window_speedup"]) == len(WORKLOAD)
+
+
+def test_sweep_prewarm_quick():
+    """Pool pre-warm + reuse + close mechanics (no cell workload)."""
+    from repro.sweep.runner import SweepRunner
+
+    runner = SweepRunner(jobs=2, cache_dir=None)
+    runner.prewarm(barrier_s=0.01)
+    try:
+        assert runner._pool is not None
+        report = runner.run([])
+        assert report.outcomes == [] and not report.failures
+    finally:
+        runner.close()
+    assert runner._pool is None
+
+
+def test_portfolio_quick():
+    """Portfolio solve under tiny caps: status/objective sane, memo hit."""
+    from repro.opg.cpsat.bench import build_window_model
+    from repro.opg.cpsat.portfolio import PortfolioCpSolver
+    from repro.opg.cpsat.search import CpSolver
+
+    model = build_window_model(6, 10, 6, 11)
+    base = CpSolver(time_limit_s=2.0, max_nodes=5000).solve(
+        build_window_model(6, 10, 6, 11)
+    )
+    solution = PortfolioCpSolver(time_limit_s=2.0, max_nodes=5000, k=3).solve(model)
+    assert solution.status.value in ("OPTIMAL", "FEASIBLE")
+    assert solution.values == base.values
