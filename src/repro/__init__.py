@@ -26,8 +26,15 @@ from repro.gpusim import (
     pixel_8,
     xiaomi_mi6,
 )
-from repro.graph.models import EVALUATED_MODELS, available_models, load_model
+from repro.graph.models import (
+    DECODE_MODELS,
+    EVALUATED_MODELS,
+    available_models,
+    load_decode_model,
+    load_model,
+)
 from repro.opg import OpgConfig, OverlapPlan
+from repro.runtime.scenario import Scenario, available_scenarios
 
 __version__ = "1.0.0"
 
@@ -42,10 +49,14 @@ __all__ = [
     "oneplus_12",
     "pixel_8",
     "xiaomi_mi6",
+    "DECODE_MODELS",
     "EVALUATED_MODELS",
     "available_models",
+    "load_decode_model",
     "load_model",
     "OpgConfig",
     "OverlapPlan",
+    "Scenario",
+    "available_scenarios",
     "__version__",
 ]

@@ -2,9 +2,13 @@
 
 Commands:
 
-- ``list``                      — models and devices available.
-- ``run MODEL [--device D]``    — compile + run one model under FlashMem,
+- ``list``                      — models, devices, and scenarios available.
+- ``run MODEL [DEVICE]``        — compile + run one model under FlashMem,
                                   with optional baseline comparison.
+                                  ``--scenario decode --tokens N --context L``
+                                  simulates autoregressive generation with
+                                  KV-cache streaming (default scenario:
+                                  single-pass prefill).
 - ``plan MODEL [--out F]``      — solve the overlap plan and print/export it.
 - ``experiment NAME``           — regenerate one paper table/figure, or
                                   ``all`` for the full suite; supports
@@ -33,13 +37,20 @@ from typing import List, Optional
 from repro.core.config import FlashMemConfig
 from repro.core.flashmem import FlashMem
 from repro.gpusim.device import DEVICE_PRESETS, get_device
-from repro.graph.models import ALL_CARDS, EVALUATED_MODELS, load_model
+from repro.graph.models import (
+    ALL_CARDS,
+    DECODE_MODELS,
+    EVALUATED_MODELS,
+    load_decode_model,
+    load_model,
+)
 from repro.opg.problem import OpgConfig
+from repro.runtime.scenario import SCENARIO_KINDS, available_scenarios, make_scenario
 
 EXPERIMENTS = [
     "table1", "fig2", "table4", "table5", "table6", "fig4",
     "table7", "table8", "fig6", "fig7", "fig8", "fig9", "table9", "fig10",
-    "background_texture", "appendix_fp32", "ablations", "preemption",
+    "background_texture", "appendix_fp32", "ablations", "preemption", "decode",
 ]
 
 
@@ -53,10 +64,19 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list models, devices, and experiments")
 
     run_p = sub.add_parser("run", help="compile + run a model under FlashMem")
-    run_p.add_argument("model", choices=sorted(ALL_CARDS))
+    run_p.add_argument("model", choices=sorted(set(ALL_CARDS) | set(DECODE_MODELS)))
+    run_p.add_argument("device_pos", nargs="?", default=None, metavar="DEVICE",
+                       help="device preset name or alias (overrides --device)")
     run_p.add_argument("--device", default="OnePlus 12",
                        help="device preset name or alias (e.g. 'oneplus12')")
-    run_p.add_argument("--iterations", type=int, default=1)
+    run_p.add_argument("--scenario", default="prefill", choices=list(SCENARIO_KINDS),
+                       help="workload: prefill passes or autoregressive decode")
+    run_p.add_argument("--iterations", type=int, default=None,
+                       help="prefill passes to simulate (prefill scenario only)")
+    run_p.add_argument("--tokens", type=int, default=None,
+                       help="tokens to generate (decode scenario only)")
+    run_p.add_argument("--context", type=int, default=None,
+                       help="prompt length in tokens (decode scenario only)")
     run_p.add_argument("--preload-ratio", type=float, default=None,
                        help="force a preload fraction (Figure 8 knob)")
     run_p.add_argument("--baseline", default=None,
@@ -97,10 +117,17 @@ def _build_parser() -> argparse.ArgumentParser:
     prof_run = prof_sub.add_parser(
         "run", help="cProfile one FlashMem.run (simulation hot path) and print hotspots"
     )
-    prof_run.add_argument("model", choices=sorted(ALL_CARDS))
+    prof_run.add_argument("model", choices=sorted(set(ALL_CARDS) | set(DECODE_MODELS)))
     prof_run.add_argument("device", help="device preset name or alias")
-    prof_run.add_argument("--iterations", type=int, default=10,
-                          help="inference iterations to simulate (default 10)")
+    prof_run.add_argument("--scenario", default="prefill", choices=list(SCENARIO_KINDS),
+                          help="workload: prefill passes or autoregressive decode")
+    prof_run.add_argument("--iterations", type=int, default=None,
+                          help="inference iterations to simulate "
+                               "(prefill scenario only; default 10)")
+    prof_run.add_argument("--tokens", type=int, default=None,
+                          help="tokens to generate (decode scenario only; default 256)")
+    prof_run.add_argument("--context", type=int, default=None,
+                          help="prompt length in tokens (decode scenario only)")
     prof_run.add_argument("--top", type=int, default=25,
                           help="number of hotspot rows to print (default 25)")
     prof_run.add_argument("--time-limit", type=float, default=5.0,
@@ -135,6 +162,10 @@ def _cmd_list() -> int:
     print("\nDevices:")
     for device in DEVICE_PRESETS.values():
         print(f"  {device.name:12s} {device.gpu:15s} {device.ram_bytes / 2**30:.0f} GB RAM")
+    print("\nScenarios:")
+    for kind, description in available_scenarios().items():
+        print(f"  {kind:11s} {description}")
+    print("\nDecode-phase models (--scenario decode): " + ", ".join(DECODE_MODELS))
     print("\nExperiments: " + ", ".join(EXPERIMENTS))
     return 0
 
@@ -184,20 +215,32 @@ def _cmd_profile_run(args: argparse.Namespace) -> int:
     from repro.gpusim import pricing
 
     device = get_device(args.device)
-    graph = load_model(args.model)
+    if args.scenario == "decode":
+        scenario = make_scenario(
+            "decode", iterations=args.iterations,
+            tokens=args.tokens if args.tokens is not None else 256,
+            context_len=args.context,
+        )
+    else:
+        scenario = make_scenario(
+            "prefill",
+            iterations=args.iterations if args.iterations is not None else 10,
+            tokens=args.tokens, context_len=args.context,
+        )
+    graph = _load_cli_graph(args.model, scenario)
     config = FlashMemConfig(opg=OpgConfig(time_limit_s=args.time_limit))
     fm = FlashMem(config)
     print(f"Compiling {graph.summary()} for {device.name} (not profiled) ...")
     compiled = fm.compile(graph, device)
     before = pricing.STATS.snapshot()
-    print(f"Profiling run: {args.iterations} iteration(s), "
+    print(f"Profiling run: {scenario.describe()}, "
           f"cost tables {'off' if args.no_cost_tables else 'on'}, "
           f"extrapolation {'off' if args.no_extrapolate else 'on'} ...")
     profiler = cProfile.Profile()
     profiler.enable()
     result = fm.run(
         compiled,
-        iterations=args.iterations,
+        scenario=scenario,
         use_cost_tables=not args.no_cost_tables,
         extrapolate=not args.no_extrapolate,
     )
@@ -244,14 +287,45 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cli_scenario(args: argparse.Namespace):
+    """Build the Scenario a ``run``/``profile run`` invocation asked for."""
+    if args.scenario == "decode":
+        return make_scenario(
+            "decode", iterations=args.iterations,
+            tokens=args.tokens if args.tokens is not None else 64,
+            context_len=args.context,
+        )
+    return make_scenario(
+        "prefill", iterations=args.iterations,
+        tokens=args.tokens, context_len=args.context,
+    )
+
+
+def _load_cli_graph(model: str, scenario):
+    """Prefill scenarios run the zoo graph; decode needs a decode-phase graph
+    sized for the prompt (KV caches registered, flash-attention kernels)."""
+    if scenario.is_decode:
+        if model not in DECODE_MODELS:
+            raise SystemExit(
+                f"error: {model} has no decode-phase builder; "
+                f"decode models: {', '.join(DECODE_MODELS)}"
+            )
+        return load_decode_model(model, context_len=scenario.context_len)
+    return load_model(model)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    device = get_device(args.device)
-    graph = load_model(args.model)
+    device = get_device(args.device_pos or args.device)
+    try:
+        scenario = _resolve_cli_scenario(args)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    graph = _load_cli_graph(args.model, scenario)
     config = FlashMemConfig(
         opg=OpgConfig(time_limit_s=args.time_limit, portfolio=args.portfolio)
     )
     fm = FlashMem(config)
-    print(f"Compiling {graph.summary()} for {device.name} ...")
+    print(f"Compiling {graph.summary()} for {device.name} ({scenario.describe()}) ...")
     compiled = fm.compile(graph, device, target_preload_ratio=args.preload_ratio)
     print(f"  plan: {compiled.plan.stats.solver_status}, "
           f"preload {compiled.preload_ratio * 100:.1f}% "
@@ -260,17 +334,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _print_solver_stats(compiled.plan)
         if compiled.fusion_report is not None and compiled.fusion_report.solver_iterations:
             _print_fusion_iterations(compiled.fusion_report)
-    result = fm.run(compiled, iterations=args.iterations)
+    result = fm.run(compiled, scenario=scenario)
     print(f"FlashMem: {result.latency_ms:.0f} ms, "
           f"avg {result.avg_memory_mb:.0f} MB, peak {result.peak_memory_mb:.0f} MB, "
           f"{result.energy_j:.1f} J")
+    if scenario.is_decode:
+        decode_ms = result.details.get("decode_ms", result.latency_ms)
+        print(f"  decode: {result.details.get('ms_per_token', 0.0):.2f} ms/token "
+              f"({scenario.tokens / (decode_ms / 1e3):.1f} tok/s), "
+              f"KV resident {result.details.get('kv_resident_bytes', 0) / 1e6:.0f} MB"
+              + (", spilled "
+                 f"{result.details.get('kv_spilled_bytes', 0) / 1e6:.0f} MB"
+                 if result.details.get("kv_spilled_bytes") else ""))
     if args.baseline:
         from repro.runtime.frameworks import get_profile
         from repro.runtime.preload import ModelNotSupportedError, PreloadExecutor
 
         try:
             base = PreloadExecutor(get_profile(args.baseline), device).run(
-                graph, iterations=args.iterations
+                graph, scenario=scenario, check_support=not scenario.is_decode
             )
         except ModelNotSupportedError:
             print(f"{args.baseline}: model not supported")

@@ -27,13 +27,15 @@ from repro.core.config import FlashMemConfig
 from repro.fusion.adaptive import AdaptiveFusionPlanner, AdaptiveFusionReport
 from repro.graph.dag import Graph
 from repro.graph.lowering import eliminate_layout_ops
+from repro.graph.ops import OpKind
 from repro.gpusim.device import DeviceProfile
 from repro.gpusim.timeline import RunResult
 from repro.kernels.codegen import ExecStyle, KernelBundle
 from repro.kernels.rewriter import KernelRewriter
-from repro.opg.lcopg import LcOpgSolver
+from repro.opg.lcopg import LcOpgSolver, plan_kv_residency
 from repro.opg.plan import OverlapPlan
 from repro.runtime.executor import FlashMemExecutor
+from repro.runtime.scenario import Scenario
 
 
 @dataclass
@@ -93,8 +95,39 @@ class FlashMem:
         capacity = capacity or self.capacity_model(device)
         solver = LcOpgSolver(cfg.opg, use_cp=cfg.use_cp)
         lowered = eliminate_layout_ops(graph)
+        decode_graph = bool(lowered.kv_cache_specs())
+        if decode_graph and target_preload_ratio is None:
+            # Decode-phase graphs: weights are steady-state resident.  The
+            # single-pass streaming trade-off does not apply — a streamed
+            # weight would be re-fetched from disk on *every* generated
+            # token, paying the full disk pass per token — so W defaults to
+            # as much as the device can hold: everything when it fits,
+            # otherwise the largest fraction that leaves room for the
+            # activations, the process baseline, and at least one resident
+            # KV tile per cache (models too big to preload decode slowly but
+            # *bounded*, where the preloading baselines just OOM).  The
+            # remaining streaming axis is the KV cache (plan_kv_residency
+            # below).  An explicit target_preload_ratio still overrides
+            # (the differential tests use it to exercise streamed-weight
+            # decode).
+            from repro.runtime.executor import FLASHMEM_BASELINE_MB
+
+            tile_sizes = {
+                int(n.spec.attrs["tile_tokens"])
+                for n in lowered.nodes()
+                if n.kind is OpKind.FLASH_ATTENTION
+            }
+            kv_tile_bytes = lowered.kv_bytes_per_token() * max(tile_sizes, default=0)
+            headroom = (
+                int(device.ram_budget_bytes * 0.95)
+                - int(FLASHMEM_BASELINE_MB * 1e6)
+                - lowered.peak_activation_bytes()
+                - kv_tile_bytes
+            )
+            total_w = lowered.total_weight_bytes
+            target_preload_ratio = 1.0 if total_w <= headroom else max(0.0, headroom / total_w)
         fusion_report: Optional[AdaptiveFusionReport] = None
-        if cfg.use_adaptive_fusion:
+        if cfg.use_adaptive_fusion and not decode_graph:
             planner = AdaptiveFusionPlanner(solver, capacity)
             executed, plan, fusion_report = planner.plan(lowered, device_name=device.name)
             if target_preload_ratio is not None:
@@ -102,10 +135,15 @@ class FlashMem:
                     executed, capacity, device_name=device.name, target_preload_ratio=target_preload_ratio
                 )
         else:
+            # Adaptive fusion exists to repair streaming-capacity constraint
+            # failures; with decode's full-preload default there is nothing
+            # to stream, so decode graphs skip straight to the solve.
             executed = lowered
             plan = solver.solve(
                 executed, capacity, device_name=device.name, target_preload_ratio=target_preload_ratio
             )
+        if decode_graph:
+            plan.kv_plan = plan_kv_residency(executed, plan, device, cfg.opg)
         style = ExecStyle.PIPELINED if cfg.use_kernel_rewriting else ExecStyle.RESIDENT
         bundle = KernelRewriter(style=style).rewrite_graph(executed, plan)
         return CompiledModel(
@@ -121,11 +159,18 @@ class FlashMem:
         self,
         compiled: CompiledModel,
         *,
-        iterations: int = 1,
+        scenario: Optional[Scenario] = None,
+        iterations: Optional[int] = None,
         use_cost_tables: Optional[bool] = None,
         extrapolate: Optional[bool] = None,
     ) -> RunResult:
         """Execute a compiled model on the simulator.
+
+        ``scenario`` selects the workload (:meth:`Scenario.prefill` passes,
+        or :meth:`Scenario.decode` autoregressive generation — the latter
+        needs a decode-phase graph so the plan carries a KV residency
+        policy).  The bare ``iterations=`` spelling is a deprecated prefill
+        shim resolved by the executor.
 
         ``use_cost_tables``/``extrapolate`` thread through to
         :meth:`FlashMemExecutor.run` (byte-identical escape hatches for the
@@ -138,6 +183,7 @@ class FlashMem:
             compiled.graph,
             compiled.plan,
             compiled.bundle,
+            scenario=scenario,
             iterations=iterations,
             use_cost_tables=use_cost_tables,
             extrapolate=extrapolate,
@@ -148,7 +194,8 @@ class FlashMem:
         graph: Graph,
         device: DeviceProfile,
         *,
-        iterations: int = 1,
+        scenario: Optional[Scenario] = None,
+        iterations: Optional[int] = None,
         capacity: Optional[LoadCapacityModel] = None,
         target_preload_ratio: Optional[float] = None,
     ) -> RunResult:
@@ -156,4 +203,4 @@ class FlashMem:
         compiled = self.compile(
             graph, device, capacity=capacity, target_preload_ratio=target_preload_ratio
         )
-        return self.run(compiled, iterations=iterations)
+        return self.run(compiled, scenario=scenario, iterations=iterations)

@@ -12,6 +12,7 @@ from repro.experiments import (
     ablations,
     appendix_fp32,
     background_texture,
+    decode,
     fig2,
     preemption,
     fig4,
@@ -31,7 +32,7 @@ from repro.experiments import (
 from repro.experiments.common import clear_caches
 
 __all__ = [
-    "ablations", "appendix_fp32", "background_texture", "preemption",
+    "ablations", "appendix_fp32", "background_texture", "decode", "preemption",
     "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
     "table1", "table4", "table5", "table6", "table7", "table8", "table9",
     "clear_caches",

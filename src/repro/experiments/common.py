@@ -29,13 +29,18 @@ from repro.gpusim.device import get_device
 from repro.gpusim.timeline import RunResult
 from repro.graph.dag import Graph
 from repro.graph.lowering import eliminate_layout_ops
-from repro.graph.models import load_model
+from repro.graph.models import load_decode_model, load_model
 from repro.opg.problem import OpgConfig
 from repro.runtime.frameworks import get_profile
 from repro.runtime.preload import ModelNotSupportedError, PreloadExecutor
+from repro.runtime.scenario import Scenario
 
 #: Default evaluation device (the paper's primary target).
 DEFAULT_DEVICE = "OnePlus 12"
+
+#: The canonical single-pass prefill scenario every legacy table/figure cell
+#: runs under; sweep cache probes reuse it so their keys match the cells'.
+PREFILL_ONCE = Scenario.prefill(1)
 
 #: Stored in place of a result for (framework, model) pairs the framework
 #: does not support — ``ArtifactStore`` cannot distinguish a stored None
@@ -117,19 +122,26 @@ def _store_save(key: Dict[str, Any], value: Any) -> None:
         _STORE.save(key, value)
 
 
-def compile_key(model: str, device_name: str) -> Dict[str, Any]:
-    return {"kind": "compiled", "model": model, "device": device_name,
-            "config": experiment_config_fingerprint()}
+def compile_key(model: str, device_name: str, context_len: int = 0) -> Dict[str, Any]:
+    key = {"kind": "compiled", "model": model, "device": device_name,
+           "config": experiment_config_fingerprint()}
+    if context_len:
+        key["context_len"] = int(context_len)
+    return key
 
 
-def flashmem_run_key(model: str, device_name: str, iterations: int) -> Dict[str, Any]:
+def flashmem_run_key(
+    model: str, device_name: str, scenario: Scenario
+) -> Dict[str, Any]:
     return {"kind": "flashmem-run", "model": model, "device": device_name,
-            "iterations": iterations, "config": experiment_config_fingerprint()}
+            "scenario": scenario.cache_key(), "config": experiment_config_fingerprint()}
 
 
-def framework_run_key(framework: str, model: str, device_name: str, iterations: int) -> Dict[str, Any]:
+def framework_run_key(
+    framework: str, model: str, device_name: str, scenario: Scenario
+) -> Dict[str, Any]:
     return {"kind": "framework-run", "framework": framework, "model": model,
-            "device": device_name, "iterations": iterations}
+            "device": device_name, "scenario": scenario.cache_key()}
 
 
 # ------------------------------------------------------------ cached cells
@@ -160,13 +172,14 @@ def cached_compile(model: str, device_name: str) -> CompiledModel:
 
 @lru_cache(maxsize=256)
 def flashmem_result(model: str, device_name: str, iterations: int = 1) -> RunResult:
-    """Cached FlashMem run."""
-    key = flashmem_run_key(model, device_name, iterations)
+    """Cached FlashMem prefill run (``iterations`` passes of the graph)."""
+    scenario = Scenario.prefill(iterations)
+    key = flashmem_run_key(model, device_name, scenario)
     stored = _store_load(key)
     if stored is not None:
         return stored
     fm = FlashMem(experiment_flashmem_config())
-    result = fm.run(cached_compile(model, device_name), iterations=iterations)
+    result = fm.run(cached_compile(model, device_name), scenario=scenario)
     _store_save(key, result)
     return result
 
@@ -175,13 +188,14 @@ def flashmem_result(model: str, device_name: str, iterations: int = 1) -> RunRes
 def framework_result(
     framework: str, model: str, device_name: str, iterations: int = 1
 ) -> Optional[RunResult]:
-    """Cached baseline run; None when the framework lacks support.
+    """Cached baseline prefill run; None when the framework lacks support.
 
     Baselines other than SmartMem execute the raw lowered graph (layout ops
     included); SmartMem — whose contribution is layout-transformation
     elimination — runs the layout-eliminated graph, like FlashMem.
     """
-    key = framework_run_key(framework, model, device_name, iterations)
+    scenario = Scenario.prefill(iterations)
+    key = framework_run_key(framework, model, device_name, scenario)
     stored = _store_load(key)
     if stored is not None:
         return None if stored == _UNSUPPORTED else stored
@@ -191,7 +205,70 @@ def framework_result(
         graph = eliminate_layout_ops(graph)
     try:
         result: Optional[RunResult] = PreloadExecutor(profile, get_device(device_name)).run(
-            graph, iterations=iterations
+            graph, scenario=scenario
+        )
+    except ModelNotSupportedError:
+        result = None
+    _store_save(key, _UNSUPPORTED if result is None else result)
+    return result
+
+
+# ------------------------------------------------------------- decode cells
+@lru_cache(maxsize=64)
+def cached_decode_graph(model: str, context_len: int) -> Graph:
+    return load_decode_model(model, context_len=context_len)
+
+
+@lru_cache(maxsize=64)
+def cached_decode_compile(model: str, device_name: str, context_len: int) -> CompiledModel:
+    """Decode-phase compilation (weights resident, KV residency planned),
+    cached per (model, device, prompt length)."""
+    key = compile_key(model, device_name, context_len)
+    stored = _store_load(key)
+    if stored is not None:
+        return stored
+    fm = FlashMem(experiment_flashmem_config())
+    compiled = fm.compile(
+        cached_decode_graph(model, context_len),
+        get_device(device_name),
+        capacity=cached_capacity(device_name),
+    )
+    _store_save(key, compiled)
+    return compiled
+
+
+@lru_cache(maxsize=256)
+def flashmem_decode_result(
+    model: str, device_name: str, context_len: int, tokens: int
+) -> RunResult:
+    """Cached FlashMem autoregressive decode: ``tokens`` generated after a
+    ``context_len``-token prompt, KV cache streamed per the residency plan."""
+    scenario = Scenario.decode(tokens=tokens, context_len=context_len)
+    key = flashmem_run_key(model, device_name, scenario)
+    stored = _store_load(key)
+    if stored is not None:
+        return stored
+    fm = FlashMem(experiment_flashmem_config())
+    result = fm.run(cached_decode_compile(model, device_name, context_len), scenario=scenario)
+    _store_save(key, result)
+    return result
+
+
+@lru_cache(maxsize=256)
+def framework_decode_result(
+    framework: str, model: str, device_name: str, context_len: int, tokens: int
+) -> Optional[RunResult]:
+    """Cached preloading-baseline decode (unbounded KV growth)."""
+    scenario = Scenario.decode(tokens=tokens, context_len=context_len)
+    key = framework_run_key(framework, model, device_name, scenario)
+    stored = _store_load(key)
+    if stored is not None:
+        return None if stored == _UNSUPPORTED else stored
+    profile = get_profile(framework)
+    graph = cached_decode_graph(model, context_len)
+    try:
+        result: Optional[RunResult] = PreloadExecutor(profile, get_device(device_name)).run(
+            graph, scenario=scenario, check_support=False
         )
     except ModelNotSupportedError:
         result = None
@@ -202,5 +279,7 @@ def framework_result(
 def clear_caches() -> None:
     """Drop all in-process cached compilations/results (tests use this for
     isolation).  The persistent store, if configured, is untouched."""
-    for fn in (cached_graph, cached_capacity, cached_compile, flashmem_result, framework_result):
+    for fn in (cached_graph, cached_capacity, cached_compile, flashmem_result,
+               framework_result, cached_decode_graph, cached_decode_compile,
+               flashmem_decode_result, framework_decode_result):
         fn.cache_clear()

@@ -1,0 +1,115 @@
+"""Decode figure — autoregressive LLM generation across context lengths.
+
+Generates 64 tokens after prompts of 512-8192 tokens on three GPT-Neo
+decode graphs, comparing FlashMem's planned KV residency (tiles beyond the
+budget stream through the hierarchy; the resident window lives in texture
+memory) against the preloading baseline (MNN profile) whose KV cache grows
+without bound.  Two stories per cell:
+
+- **tokens/sec** — FlashMem prices attention tiles at texture-read
+  bandwidth and full exec efficiency; the baseline pays UM-read attention
+  (the 0.55 KV bandwidth factor) at its profiled efficiency, so it falls
+  behind even before memory pressure hits.
+- **peak MB** — FlashMem's footprint is flat in context length (weights +
+  capped KV window); the baseline's grows linearly with ``context + tokens``
+  until it crosses the device budget and OOMs (the paper's empty bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import flashmem_decode_result, framework_decode_result
+from repro.experiments.report import render_table
+
+MODELS = ["GPTN-S", "GPTN-1.3B", "GPTN-2.7B"]
+DEVICES = ["OnePlus 12", "Pixel 8"]
+CONTEXTS = [512, 1024, 2048, 4096, 8192]
+#: Tokens generated per cell; steady-state throughput is context-dependent
+#: but token-count-independent (per-token cost is piecewise-constant), so a
+#: short burst measures the same tokens/sec as a long one.
+TOKENS = 64
+BASELINE = "MNN"
+
+
+@dataclass
+class DecodeCell:
+    model: str
+    device: str
+    context_len: int
+    baseline_tok_s: Optional[float]
+    baseline_peak_mb: Optional[float]
+    baseline_oom: bool
+    flashmem_tok_s: float
+    flashmem_peak_mb: float
+    flashmem_oom: bool
+    kv_resident_mb: float
+    kv_spilled_mb: float
+
+
+@dataclass
+class DecodeResult:
+    tokens: int
+    cells: List[DecodeCell]
+
+    def render(self) -> str:
+        def fmt(value, oom):
+            if value is None:
+                return "-"
+            return "OOM" if oom else value
+
+        return render_table(
+            ["Model", "Device", "Context",
+             "MNN (tok/s)", "MNN peak (MB)",
+             "Ours (tok/s)", "Ours peak (MB)", "KV res/spill (MB)"],
+            [
+                (
+                    c.model, c.device, c.context_len,
+                    fmt(c.baseline_tok_s, c.baseline_oom),
+                    fmt(c.baseline_peak_mb, c.baseline_oom),
+                    fmt(c.flashmem_tok_s, c.flashmem_oom),
+                    fmt(c.flashmem_peak_mb, c.flashmem_oom),
+                    f"{c.kv_resident_mb:.0f}/{c.kv_spilled_mb:.0f}",
+                )
+                for c in self.cells
+            ],
+            title=(f"Decode — {self.tokens} generated tokens, KV residency vs "
+                   "unbounded preloading (OOM = exceeded the device budget)"),
+        )
+
+
+def _tokens_per_second(result, tokens: int) -> float:
+    decode_ms = result.details.get("decode_ms", result.latency_ms)
+    return tokens / (decode_ms / 1e3) if decode_ms else 0.0
+
+
+def run(
+    *,
+    models: Optional[List[str]] = None,
+    devices: Optional[List[str]] = None,
+    contexts: Optional[List[int]] = None,
+    tokens: int = TOKENS,
+) -> DecodeResult:
+    cells: List[DecodeCell] = []
+    for model in models or MODELS:
+        for device in devices or DEVICES:
+            for context_len in contexts or CONTEXTS:
+                base = framework_decode_result(BASELINE, model, device, context_len, tokens)
+                ours = flashmem_decode_result(model, device, context_len, tokens)
+                cells.append(
+                    DecodeCell(
+                        model=model,
+                        device=device,
+                        context_len=context_len,
+                        baseline_tok_s=_tokens_per_second(base, tokens) if base else None,
+                        baseline_peak_mb=base.peak_memory_mb if base else None,
+                        baseline_oom=bool(base and base.details.get("oom")),
+                        flashmem_tok_s=_tokens_per_second(ours, tokens),
+                        flashmem_peak_mb=ours.peak_memory_mb,
+                        flashmem_oom=bool(ours.details.get("oom")),
+                        kv_resident_mb=ours.details.get("kv_resident_bytes", 0) / 1e6,
+                        kv_spilled_mb=ours.details.get("kv_spilled_bytes", 0) / 1e6,
+                    )
+                )
+    return DecodeResult(tokens=tokens, cells=cells)

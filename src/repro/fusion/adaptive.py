@@ -95,6 +95,8 @@ def apply_splits(graph: Graph, splits: Dict[str, Tuple[object, object]]) -> Grap
     """Rebuild ``graph`` with the given fused nodes replaced by (head, tail)."""
     graph.freeze()
     out = Graph(graph.name)
+    for cache in graph.kv_cache_specs():
+        out.register_kv_cache(cache)
     mapping: Dict[str, object] = {}
     for node in graph.nodes():
         inputs = [mapping[p.name] for p in node.inputs]

@@ -18,10 +18,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.graph.dag import Graph, Node
-from repro.graph.ops import OpClass, OpSpec
+from repro.graph.ops import OpClass, OpKind, OpSpec
 
 #: OpSpec attr key carrying the member specs of a fused node.
 FUSED_MEMBERS = "fused_members"
+
+#: Decode-phase operators that own their kernel outright: the KV append
+#: mutates persistent cache state, and the tiled attention kernel's
+#: online-softmax loop (plus its tile-streaming schedule) cannot host a
+#: fused epilogue.  Both act as fusion barriers, like hierarchical ops.
+UNFUSABLE_KINDS = (OpKind.KV_APPEND, OpKind.FLASH_ATTENTION)
 
 
 def is_fused(spec: OpSpec) -> bool:
@@ -79,7 +85,7 @@ def fuse_graph(graph: Graph, *, max_group: int = 4) -> Graph:
     groups: List[List[Node]] = []
     group_of: Dict[str, int] = {}
     for node in graph.nodes():
-        if node.op_class in (OpClass.HIERARCHICAL, OpClass.LAYOUT):
+        if node.op_class in (OpClass.HIERARCHICAL, OpClass.LAYOUT) or node.kind in UNFUSABLE_KINDS:
             group_of[node.name] = len(groups)
             groups.append([node])
             continue
@@ -100,6 +106,7 @@ def fuse_graph(graph: Graph, *, max_group: int = 4) -> Graph:
                     and len(group) < max_group
                     and tail.op_class is not OpClass.HIERARCHICAL
                     and tail.op_class is not OpClass.LAYOUT
+                    and tail.kind not in UNFUSABLE_KINDS
                     # Every other parent must come from an earlier group, or
                     # the rebuilt DAG would contain a forward edge (cycle).
                     and all(group_of[p.name] <= gid for p in node.inputs)
@@ -114,6 +121,8 @@ def fuse_graph(graph: Graph, *, max_group: int = 4) -> Graph:
 
     # Rebuild the graph with one node per group.
     out = Graph(graph.name)
+    for cache in graph.kv_cache_specs():
+        out.register_kv_cache(cache)
     new_nodes: List[Node] = []
     for gid, group in enumerate(groups):
         if len(group) == 1:

@@ -22,12 +22,17 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.gpusim.device import DeviceProfile
-from repro.graph.ops import OpClass, OpSpec
+from repro.graph.ops import OpClass, OpKind, OpSpec
 
 #: Superlinear contention coefficient: exposed streaming time is amplified
 #: by (1 + gamma * excess / base) — cache/write-buffer thrash when a kernel
 #: is crammed far past its capacity.
 CONTENTION_GAMMA = 0.5
+
+#: Relative bandwidth of reading KV tiles kept in plain unified memory vs
+#: the texture path: UM-resident KV misses the texture cache and pays
+#: uncoalesced strided reads, so the effective bandwidth drops.
+UM_KV_BW_FACTOR = 0.55
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,98 @@ INTERFERENCE: Dict[OpClass, InterferenceCoeffs] = {
     OpClass.HIERARCHICAL: InterferenceCoeffs(hide_fraction=0.0, share_coeff=1.60, sync_penalty=0.10),
     OpClass.LAYOUT: InterferenceCoeffs(hide_fraction=0.0, share_coeff=1.0, sync_penalty=0.0),
 }
+
+
+@dataclass(frozen=True)
+class FlashAttentionKernel:
+    """Tiled single-query attention over a KV cache (decode phase).
+
+    The kernel walks the cache in tiles of ``tile_tokens`` K/V rows, doing
+    the QK^T dot products, online softmax and PV accumulation per tile, with
+    the *next* tile's fetch double-buffered behind the *current* tile's
+    arithmetic.  Per-tile cost is therefore ``max(compute, fetch)`` after an
+    exposed first-tile fill, and total latency depends only on the number of
+    tiles — every tile is priced full (the last one is padded and masked,
+    as real tiled kernels do), which is what makes per-token decode cost
+    piecewise-constant in context length (the extrapolation lever).
+
+    Tiles come in two fetch classes, set by the residency plan: the most
+    recent ``resident_tiles`` live in GPU memory (texture or unified), older
+    tiles spill to disk and stream through the IO pipeline.
+    """
+
+    heads: int
+    head_dim: int
+    tile_tokens: int
+    dtype_bytes: int = 2
+
+    @classmethod
+    def from_spec(cls, spec: OpSpec) -> "FlashAttentionKernel":
+        if spec.kind is not OpKind.FLASH_ATTENTION:
+            raise ValueError(f"not a FlashAttention spec: {spec.kind}")
+        return cls(
+            heads=spec.attrs["heads"],
+            head_dim=spec.attrs["head_dim"],
+            tile_tokens=spec.attrs["tile_tokens"],
+            dtype_bytes=spec.output_spec.dtype_bytes,
+        )
+
+    @property
+    def tile_bytes(self) -> int:
+        """K + V bytes of one full tile."""
+        return 2 * self.heads * self.head_dim * self.tile_tokens * self.dtype_bytes
+
+    @property
+    def tile_flops(self) -> int:
+        """QK^T + PV arithmetic over one full tile."""
+        return 4 * self.heads * self.head_dim * self.tile_tokens
+
+    def tiles(self, kv_tokens: int) -> int:
+        """Number of (full-priced) tiles covering ``kv_tokens`` cached rows."""
+        if kv_tokens <= 0:
+            raise ValueError("kv_tokens must be positive")
+        return -(-kv_tokens // self.tile_tokens)
+
+    def time_ms(
+        self,
+        device: DeviceProfile,
+        kv_tokens: int,
+        *,
+        resident_tiles: int = None,
+        texture: bool = True,
+        efficiency: float = 1.0,
+    ) -> float:
+        """Latency of one decode-attention call over ``kv_tokens`` rows.
+
+        ``resident_tiles=None`` keeps the whole cache resident (the
+        preloading baselines); otherwise the oldest ``n - resident_tiles``
+        tiles stream from disk.  ``texture`` selects the resident read path
+        (texture cache vs :data:`UM_KV_BW_FACTOR`-degraded unified memory).
+
+        This scalar form is the oracle the vectorized
+        :func:`repro.gpusim.pricing.flash_attention_time_table` must match
+        bitwise — keep the operation order in sync with it.
+        """
+        if efficiency <= 0:
+            raise ValueError("efficiency must be positive")
+        n = self.tiles(kv_tokens)
+        if resident_tiles is None:
+            r = n
+        elif resident_tiles < 0:
+            raise ValueError("resident_tiles must be non-negative")
+        else:
+            r = min(n, resident_tiles)
+        s = n - r
+        t_compute = device.compute_time_ms(self.tile_flops) / efficiency
+        t_resident = device.memory_time_ms(self.tile_bytes) / efficiency
+        if not texture:
+            t_resident = t_resident / UM_KV_BW_FACTOR
+        t_stream = device.disk_latency_ms + self.tile_bytes / device.disk_bw
+        # Streamed (oldest) tiles run first; the pipeline fill exposes the
+        # first tile's fetch, every later fetch hides behind compute.
+        fill = t_stream if s > 0 else t_resident
+        steady = s * max(t_compute, t_stream) + r * max(t_compute, t_resident)
+        return device.kernel_launch_ms + fill + steady
 
 
 class KernelCostModel:

@@ -37,7 +37,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.gpusim.device import DeviceProfile
-from repro.gpusim.kernels import CONTENTION_GAMMA, INTERFERENCE
+from repro.gpusim.kernels import CONTENTION_GAMMA, INTERFERENCE, UM_KV_BW_FACTOR
 from repro.graph.ops import OpClass, OpSpec
 
 #: One kernel's pricing inputs: everything the scalar model reads.
@@ -243,6 +243,87 @@ def kernel_time_table(device: DeviceProfile, rows: Sequence[KernelRow]) -> np.nd
     if store is not None:
         store.save(store_key, table)
         STATS.store_stores += 1
+    return table
+
+
+# --------------------------------------------------- flash-attention tables
+#: One tiled decode-attention call's pricing inputs: the kernel geometry
+#: plus the per-call residency split.  ``resident_tiles=-1`` means "whole
+#: cache resident" (the scalar oracle's ``resident_tiles=None``).
+FlashRow = Tuple[int, int, int, int, int, int, bool, float]
+
+
+def flash_row(
+    kernel,
+    kv_tokens: int,
+    *,
+    resident_tiles: Optional[int] = None,
+    texture: bool = True,
+    efficiency: float = 1.0,
+) -> FlashRow:
+    """Pricing-row form of one ``FlashAttentionKernel.time_ms`` call."""
+    return (
+        kernel.heads,
+        kernel.head_dim,
+        kernel.tile_tokens,
+        kernel.dtype_bytes,
+        kv_tokens,
+        -1 if resident_tiles is None else resident_tiles,
+        texture,
+        efficiency,
+    )
+
+
+def _compute_flash_table(device: DeviceProfile, rows: Tuple[FlashRow, ...]) -> np.ndarray:
+    """Vectorized ``FlashAttentionKernel.time_ms`` over ``rows`` (exact).
+
+    Operation-for-operation mirror of the scalar oracle — same division
+    order, same association — so every entry is bitwise equal to the
+    corresponding scalar call (pinned by
+    ``tests/gpusim/test_flash_pricing.py``).
+    """
+    heads = np.array([r[0] for r in rows], dtype=np.int64)
+    head_dim = np.array([r[1] for r in rows], dtype=np.int64)
+    tile_tokens = np.array([r[2] for r in rows], dtype=np.int64)
+    dtype_bytes = np.array([r[3] for r in rows], dtype=np.int64)
+    kv_tokens = np.array([r[4] for r in rows], dtype=np.int64)
+    resident = np.array([r[5] for r in rows], dtype=np.int64)
+    texture = np.array([r[6] for r in rows], dtype=bool)
+    eff = np.array([r[7] for r in rows], dtype=np.float64)
+
+    tile_bytes = 2 * heads * head_dim * tile_tokens * dtype_bytes
+    tile_flops = 4 * heads * head_dim * tile_tokens
+    n = -(-kv_tokens // tile_tokens)
+    r = np.where(resident < 0, n, np.minimum(n, resident))
+    s = n - r
+    t_compute = (tile_flops / (device.fp16_gflops * 1e6)) / eff
+    t_resident = (tile_bytes / device.um_bw) / eff
+    t_resident = np.where(texture, t_resident, t_resident / UM_KV_BW_FACTOR)
+    t_stream = device.disk_latency_ms + tile_bytes / device.disk_bw
+    fill = np.where(s > 0, t_stream, t_resident)
+    steady = s * np.maximum(t_compute, t_stream) + r * np.maximum(t_compute, t_resident)
+    return device.kernel_launch_ms + fill + steady
+
+
+def flash_attention_time_table(
+    device: DeviceProfile, rows: Sequence[FlashRow]
+) -> np.ndarray:
+    """Priced tiled-attention latencies (ms) for ``rows``, memoized.
+
+    Shares the in-process LRU with :func:`kernel_time_table` under a tagged
+    key.  No persistent-store layer: flash tables are tiny (a handful of
+    rows per context-length segment) and cheap to recompute.
+    """
+    rows = tuple(rows)
+    key = (device, "flash-attention", rows)
+    table = _TABLES.get(key)
+    if table is not None:
+        STATS.table_hits += 1
+        return table
+    STATS.table_misses += 1
+    table = _compute_flash_table(device, rows)
+    table.setflags(write=False)
+    _TABLES.put(key, table)
     return table
 
 

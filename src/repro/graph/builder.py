@@ -13,12 +13,15 @@ from typing import Optional, Sequence, Tuple
 
 from repro.graph.dag import Graph, Node
 from repro.graph.ops import (
+    KVCacheSpec,
     OpKind,
     OpSpec,
     TensorSpec,
     WeightSpec,
     conv2d_spec,
     elementwise_spec,
+    flash_attention_spec,
+    kv_append_spec,
     layout_spec,
     matmul_spec,
     normalization_spec,
@@ -283,6 +286,56 @@ class GraphBuilder:
             c = self.reshape((seq, dim), (seq, dim))
         proj = self.linear(seq, dim, dim, bias=bias, inputs=[c])
         return self.add((seq, dim), entry, proj)
+
+    def kv_cache(self, heads: int, head_dim: int, max_context: int) -> KVCacheSpec:
+        """Register a per-layer KV cache on the graph and return its spec."""
+        cache = KVCacheSpec(
+            name=self._name("kv_cache"),
+            heads=heads,
+            head_dim=head_dim,
+            max_context=max_context,
+            dtype_bytes=self.dtype_bytes,
+        )
+        return self.graph.register_kv_cache(cache)
+
+    def decode_attention_block(
+        self,
+        dim: int,
+        heads: int,
+        *,
+        context_len: int,
+        max_context: int,
+        tile_tokens: int,
+        bias: bool = True,
+    ) -> Node:
+        """Single-token decode attention over a growing KV cache.
+
+        Produces: LN, Q/K/V projections for the current token, a KV-cache
+        append, one tiled FlashAttention kernel attending over the whole
+        cache, output projection, residual add.  The softmax lives *inside*
+        the flash kernel (online softmax), so unlike :meth:`attention_block`
+        no separate hierarchical node is emitted for it.
+        """
+        if dim % heads:
+            raise ValueError("dim must divide heads")
+        entry = self.cursor
+        if entry is None:
+            raise ValueError("decode_attention_block needs a cursor (add an embedding/input first)")
+        self.layernorm((1, dim))
+        ln = self.cursor
+        q = self.linear(1, dim, dim, bias=bias, inputs=[ln])
+        k = self.linear(1, dim, dim, bias=bias, inputs=[ln])
+        v = self.linear(1, dim, dim, bias=bias, inputs=[ln])
+        cache = self.kv_cache(heads, dim // heads, max_context)
+        append = self._add(kv_append_spec(self._name("kv_append"), cache), inputs=[k, v])
+        attn = self._add(
+            flash_attention_spec(
+                self._name("flash_attn"), cache, context_len=context_len, tile_tokens=tile_tokens
+            ),
+            inputs=[q, append],
+        )
+        proj = self.linear(1, dim, dim, bias=bias, inputs=[attn])
+        return self.add((1, dim), entry, proj)
 
     def mlp_block(self, seq: int, dim: int, hidden: int, *, bias: bool = True) -> Node:
         """Transformer MLP: LN -> fc1 -> GeLU -> fc2 -> residual add."""

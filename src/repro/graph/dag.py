@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.graph.ops import OpClass, OpKind, OpSpec, WeightSpec
+from repro.graph.ops import KVCacheSpec, OpClass, OpKind, OpSpec, WeightSpec
 
 
 class GraphError(Exception):
@@ -81,6 +81,7 @@ class Graph:
         self.name = name
         self._nodes: Dict[str, Node] = {}
         self._order: Optional[List[Node]] = None
+        self._kv_caches: List[KVCacheSpec] = []
 
     # ------------------------------------------------------------------ build
     def add(self, spec: OpSpec, inputs: Sequence[Node] = ()) -> Node:
@@ -97,6 +98,29 @@ class Graph:
             parent.outputs.append(node)
         self._nodes[spec.name] = node
         return node
+
+    def register_kv_cache(self, cache: KVCacheSpec) -> KVCacheSpec:
+        """Register a growing KV-cache tensor owned by this graph.
+
+        Registration is independent of freezing: caches describe runtime
+        state, not dataflow structure.  Duplicate names are rejected.
+        """
+        if any(c.name == cache.name for c in self._kv_caches):
+            raise GraphError(f"duplicate kv cache name {cache.name!r}")
+        self._kv_caches.append(cache)
+        return cache
+
+    def kv_cache_specs(self) -> List[KVCacheSpec]:
+        """Registered KV caches (empty for prefill-only graphs).
+
+        Reads through ``__dict__`` so graphs pickled before KV caches
+        existed (persistent artifact-store entries) unpickle cleanly.
+        """
+        return list(self.__dict__.get("_kv_caches", ()))
+
+    def kv_bytes_per_token(self) -> int:
+        """Total bytes appended across all caches per decoded token."""
+        return sum(c.token_bytes for c in self.kv_cache_specs())
 
     def freeze(self) -> "Graph":
         """Fix a topological execution order.  Idempotent."""

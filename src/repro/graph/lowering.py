@@ -26,6 +26,8 @@ def eliminate_layout_ops(graph: Graph) -> Graph:
     """
     graph.freeze()
     out = Graph(graph.name)
+    for cache in graph.kv_cache_specs():
+        out.register_kv_cache(cache)
     # Map original node -> surviving replacement node(s) feeding consumers.
     replacement: Dict[str, List[Node]] = {}
     rebuilt: Dict[str, Node] = {}

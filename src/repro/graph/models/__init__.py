@@ -2,22 +2,26 @@
 
 from repro.graph.models.zoo import (
     ALL_CARDS,
+    DECODE_MODELS,
     EVALUATED_MODELS,
     MODEL_CARDS,
     PAPER_CHARACTERIZATION,
     SOLVER_MODEL_CARDS,
     ModelCard,
     available_models,
+    load_decode_model,
     load_model,
 )
 
 __all__ = [
     "ALL_CARDS",
+    "DECODE_MODELS",
     "EVALUATED_MODELS",
     "MODEL_CARDS",
     "PAPER_CHARACTERIZATION",
     "SOLVER_MODEL_CARDS",
     "ModelCard",
     "available_models",
+    "load_decode_model",
     "load_model",
 ]

@@ -8,8 +8,15 @@ so no pretrained checkpoints are involved — see DESIGN.md substitutions.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.graph.builder import GraphBuilder
 from repro.graph.dag import Graph
+from repro.graph.ops import FLASH_TILE_TOKENS
+
+#: How many tokens past the initial context a decode graph can generate
+#: before its KV caches hit ``max_context`` (when the caller doesn't pin it).
+DECODE_HEADROOM_TOKENS = 2048
 
 
 def build_gpt_neo(
@@ -54,6 +61,82 @@ def gpt_neo_1p3b(seq: int = 128, *, dtype_bytes: int = 2) -> Graph:
 def gpt_neo_2p7b(seq: int = 128, *, dtype_bytes: int = 2) -> Graph:
     """GPT-Neo 2.7B (paper GPTN-2.7B: 2781 M params, 342 GMACs)."""
     return build_gpt_neo("GPTN-2.7B", dim=2560, blocks=32, heads=20, seq=seq, dtype_bytes=dtype_bytes)
+
+
+def build_gpt_neo_decode(
+    name: str,
+    *,
+    dim: int,
+    blocks: int,
+    heads: int,
+    vocab: int = 50257,
+    context_len: int,
+    max_context: Optional[int] = None,
+    tile_tokens: int = FLASH_TILE_TOKENS,
+    dtype_bytes: int = 2,
+) -> Graph:
+    """GPT-Neo style decoder in the autoregressive *decode* phase.
+
+    The graph prices ONE token step: single-row projections, a KV-cache
+    append per block, and a tiled FlashAttention kernel attending over the
+    ``context_len`` tokens cached so far.  The runtime re-executes (or
+    extrapolates) this graph per generated token, growing each block's
+    KV cache as it goes; ``max_context`` bounds that growth.
+    """
+    if max_context is None:
+        max_context = context_len + DECODE_HEADROOM_TOKENS
+    b = GraphBuilder(f"{name}@dec{context_len}", dtype_bytes=dtype_bytes)
+    b.embedding(1, vocab, dim)
+    tok = b.cursor
+    b.embedding(1, max_context, dim)  # learned position embeddings
+    pos = b.cursor
+    b.add((1, dim), tok, pos)
+    for _ in range(blocks):
+        b.decode_attention_block(
+            dim, heads, context_len=context_len, max_context=max_context, tile_tokens=tile_tokens
+        )
+        b.mlp_block(1, dim, 4 * dim)
+    b.layernorm((1, dim))
+    b.linear(1, dim, vocab, bias=False)  # untied LM head
+    return b.finish()
+
+
+def build_llama_decode(
+    name: str,
+    *,
+    dim: int,
+    blocks: int,
+    heads: int,
+    vocab: int = 32000,
+    context_len: int,
+    max_context: Optional[int] = None,
+    tile_tokens: int = FLASH_TILE_TOKENS,
+    dtype_bytes: int = 2,
+) -> Graph:
+    """Llama-2 style decoder (gated MLP, no biases) in the decode phase."""
+    if max_context is None:
+        max_context = context_len + DECODE_HEADROOM_TOKENS
+    b = GraphBuilder(f"{name}@dec{context_len}", dtype_bytes=dtype_bytes)
+    b.embedding(1, vocab, dim)
+    hidden = int(dim * 8 / 3 // 256 * 256) or dim * 2
+    for _ in range(blocks):
+        b.decode_attention_block(
+            dim, heads, context_len=context_len, max_context=max_context,
+            tile_tokens=tile_tokens, bias=False,
+        )
+        entry = b.cursor
+        b.layernorm((1, dim))
+        ln = b.cursor
+        gate = b.linear(1, dim, hidden, bias=False, inputs=[ln])
+        b.activation((1, hidden))
+        act = b.cursor
+        up = b.linear(1, dim, hidden, bias=False, inputs=[ln])
+        b.mul((1, hidden), act, up)
+        down = b.linear(1, hidden, dim, bias=False)
+        b.add((1, dim), entry, down)
+    b.layernorm((1, dim))
+    b.linear(1, dim, vocab, bias=False)
+    return b.finish()
 
 
 def build_vit(

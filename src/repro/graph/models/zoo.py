@@ -42,11 +42,35 @@ _CARDS: List[ModelCard] = [
     ModelCard("DepA-L", "DepthAnything-Large", "Video", "Segmentation", 333, 180, 2007, convnet.depth_anything_large),
 ]
 
+def _derived_card(
+    abbr: str, full_name: str, input_type: str, task: str, builder: Callable[..., Graph]
+) -> ModelCard:
+    """Characterize a solver-scaling variant from its built graph.
+
+    The paper's Table 4 doesn't report MACs/layer counts for these, and the
+    previous placeholder zeros made anything that normalizes by them (decode
+    throughput-per-MAC, layer-count sanity checks) divide by zero or pass
+    vacuously.  Graph construction is cheap (pure dataclass assembly), so
+    derive all three fields from the real topology.
+    """
+    graph = builder()
+    return ModelCard(
+        abbr,
+        full_name,
+        input_type,
+        task,
+        round(graph.total_params / 1e6, 1),
+        round(graph.total_macs / 1e9, 1),
+        graph.num_layers,
+        builder,
+    )
+
+
 #: Solver-scaling variants used only by the paper's Table 4.
 _SOLVER_CARDS: List[ModelCard] = [
-    ModelCard("ViT-8B", "ViT-8B", "Image", "Classification", 8000, 0, 0, transformer.vit_8b),
-    ModelCard("Llama2-13B", "Llama2-13B", "Text", "NLP", 13000, 0, 0, transformer.llama2_13b),
-    ModelCard("Llama2-70B", "Llama2-70B", "Text", "NLP", 70000, 0, 0, transformer.llama2_70b),
+    _derived_card("ViT-8B", "ViT-8B", "Image", "Classification", transformer.vit_8b),
+    _derived_card("Llama2-13B", "Llama2-13B", "Text", "NLP", transformer.llama2_13b),
+    _derived_card("Llama2-70B", "Llama2-70B", "Text", "NLP", transformer.llama2_70b),
 ]
 
 MODEL_CARDS: Dict[str, ModelCard] = {c.abbr: c for c in _CARDS}
@@ -62,6 +86,45 @@ EVALUATED_MODELS = [c.abbr for c in _CARDS]
 def available_models() -> List[str]:
     """Abbreviations of all buildable models (evaluated + solver-scaling)."""
     return list(ALL_CARDS)
+
+
+#: Decode-phase builder per LLM abbreviation: same dims as the prefill
+#: builders, but lowered as a single-token step over growing KV caches.
+_DECODE_BUILDERS: Dict[str, Callable[..., Graph]] = {
+    "GPTN-S": lambda **kw: transformer.build_gpt_neo_decode("GPTN-S", dim=768, blocks=12, heads=12, **kw),
+    "GPTN-1.3B": lambda **kw: transformer.build_gpt_neo_decode("GPTN-1.3B", dim=2048, blocks=24, heads=16, **kw),
+    "GPTN-2.7B": lambda **kw: transformer.build_gpt_neo_decode("GPTN-2.7B", dim=2560, blocks=32, heads=20, **kw),
+    "Llama2-13B": lambda **kw: transformer.build_llama_decode("Llama2-13B", dim=5120, blocks=40, heads=40, **kw),
+    "Llama2-70B": lambda **kw: transformer.build_llama_decode("Llama2-70B", dim=8192, blocks=80, heads=64, **kw),
+}
+
+#: LLMs with a decode-phase lowering (the ``--scenario decode`` candidates).
+DECODE_MODELS = sorted(_DECODE_BUILDERS)
+
+
+def load_decode_model(
+    abbr: str,
+    *,
+    context_len: int,
+    max_context: int = None,
+    dtype_bytes: int = 2,
+) -> Graph:
+    """Build the single-token decode graph for an LLM by abbreviation.
+
+    ``context_len`` is the KV-cache fill when decoding starts (the prompt /
+    conversation so far); ``max_context`` bounds how far the caches may grow
+    (defaults to ``context_len`` plus a generation headroom).
+    """
+    try:
+        builder = _DECODE_BUILDERS[abbr]
+    except KeyError:
+        raise KeyError(
+            f"model {abbr!r} has no decode lowering; available: {DECODE_MODELS}"
+        ) from None
+    kwargs = {"context_len": context_len, "dtype_bytes": dtype_bytes}
+    if max_context is not None:
+        kwargs["max_context"] = max_context
+    return builder(**kwargs)
 
 
 def load_model(abbr: str, *, dtype_bytes: int = 2) -> Graph:

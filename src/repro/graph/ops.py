@@ -46,6 +46,8 @@ class OpKind(enum.Enum):
     SLICE = "Slice"
     UPSAMPLE = "Upsample"
     ATTENTION_SCORE = "AttentionScore"
+    KV_APPEND = "KVAppend"
+    FLASH_ATTENTION = "FlashAttention"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -69,7 +71,9 @@ OP_CLASS: Dict[OpKind, OpClass] = {
     OpKind.CONV2D: OpClass.REUSABLE,
     OpKind.DEPTHWISE_CONV2D: OpClass.REUSABLE,
     OpKind.ATTENTION_SCORE: OpClass.REUSABLE,
+    OpKind.FLASH_ATTENTION: OpClass.REUSABLE,
     OpKind.ADD: OpClass.ELEMENTAL,
+    OpKind.KV_APPEND: OpClass.ELEMENTAL,
     OpKind.MUL: OpClass.ELEMENTAL,
     OpKind.ACTIVATION: OpClass.ELEMENTAL,
     OpKind.GELU: OpClass.ELEMENTAL,
@@ -90,6 +94,13 @@ OP_CLASS: Dict[OpKind, OpClass] = {
 def op_class(kind: OpKind) -> OpClass:
     """Return the load-capacity class for an operator kind."""
     return OP_CLASS[kind]
+
+
+#: Default K/V tokens per FlashAttention tile — the granularity at which the
+#: decode runtime grows, spills and streams KV-cache state.  Shared by the
+#: graph builders, the tiled kernel cost model and the residency planner so
+#: the three layers agree on tile boundaries.
+FLASH_TILE_TOKENS = 256
 
 
 @dataclass(frozen=True)
@@ -153,6 +164,50 @@ class WeightSpec:
         if chunk_bytes <= 0:
             raise ValueError("chunk_bytes must be positive")
         return max(1, math.ceil(self.nbytes / chunk_bytes))
+
+
+@dataclass(frozen=True)
+class KVCacheSpec:
+    """A per-layer key/value cache: the growing tensor of the decode phase.
+
+    Unlike a :class:`WeightSpec`, a KV cache is written *during* execution —
+    one (K, V) row pair per generated token — so its footprint is a function
+    of the number of tokens attended over, not a constant.  The residency
+    planner (``opg.lcopg.plan_kv_residency``) decides how many tile-sized
+    slices of it stay resident in GPU memory; older tiles spill to disk and
+    are re-streamed through the tiled attention kernel.
+    """
+
+    name: str
+    heads: int
+    head_dim: int
+    max_context: int
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.heads <= 0 or self.head_dim <= 0:
+            raise ValueError("heads and head_dim must be positive")
+        if self.max_context <= 0:
+            raise ValueError("max_context must be positive")
+        if self.dtype_bytes not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported dtype_bytes {self.dtype_bytes}")
+
+    @property
+    def token_bytes(self) -> int:
+        """Bytes appended per decoded token (one K row + one V row)."""
+        return 2 * self.heads * self.head_dim * self.dtype_bytes
+
+    def bytes_at(self, tokens: int) -> int:
+        """Cache footprint after ``tokens`` tokens are cached."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        return tokens * self.token_bytes
+
+    def tile_bytes(self, tile_tokens: int) -> int:
+        """Bytes of one attention tile (``tile_tokens`` K rows + V rows)."""
+        if tile_tokens <= 0:
+            raise ValueError("tile_tokens must be positive")
+        return tile_tokens * self.token_bytes
 
 
 @dataclass
@@ -358,6 +413,72 @@ def softmax_spec(name: str, shape: Tuple[int, ...], *, dtype_bytes: int = 2) -> 
         flops=4 * t.numel,
         input_specs=[t],
         output_spec=t,
+    )
+
+
+def kv_append_spec(
+    name: str,
+    cache: KVCacheSpec,
+) -> OpSpec:
+    """Build the per-token KV-cache append node.
+
+    Consumes the current token's K and V projections and writes one row pair
+    into ``cache``.  Elemental: a strided copy of ``cache.token_bytes`` bytes.
+    The executor applies the cache-growth (and spill) memory deltas at this
+    node's completion time.
+    """
+    dim = cache.heads * cache.head_dim
+    row = TensorSpec((1, dim), cache.dtype_bytes)
+    return OpSpec(
+        kind=OpKind.KV_APPEND,
+        name=name,
+        flops=2 * dim,
+        input_specs=[row, row],
+        output_spec=TensorSpec((2, dim), cache.dtype_bytes),
+        attrs={"kv_cache": cache.name},
+    )
+
+
+def flash_attention_spec(
+    name: str,
+    cache: KVCacheSpec,
+    *,
+    context_len: int,
+    tile_tokens: int,
+) -> OpSpec:
+    """Build a tiled single-query (decode) attention node over ``cache``.
+
+    FLOPs cover the QK^T dot products and the PV accumulation over
+    ``context_len`` cached tokens.  ``input_specs`` carry only the query row
+    and one double-buffered K/V *tile* — the kernel's actual working set.
+    The cached context itself is not an activation: its bytes live in the KV
+    cache, whose residency the runtime accounts explicitly (capped resident
+    tiles under FlashMem, the full cache under preloading baselines), so the
+    activation footprint stays context-independent.  The runtime re-prices
+    this node per context-length segment with
+    :class:`repro.gpusim.kernels.FlashAttentionKernel`, which adds the
+    tile-residency/streaming split the static spec cannot express.
+    """
+    if context_len <= 0:
+        raise ValueError("context_len must be positive")
+    if tile_tokens <= 0:
+        raise ValueError("tile_tokens must be positive")
+    dim = cache.heads * cache.head_dim
+    q = TensorSpec((1, dim), cache.dtype_bytes)
+    kv = TensorSpec((2, tile_tokens, dim), cache.dtype_bytes)
+    return OpSpec(
+        kind=OpKind.FLASH_ATTENTION,
+        name=name,
+        flops=4 * dim * context_len,
+        input_specs=[q, kv],
+        output_spec=q,
+        attrs={
+            "kv_cache": cache.name,
+            "heads": cache.heads,
+            "head_dim": cache.head_dim,
+            "context_len": context_len,
+            "tile_tokens": tile_tokens,
+        },
     )
 
 

@@ -56,15 +56,56 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capacity.model import LoadCapacityModel
 from repro.graph.dag import Graph
+from repro.graph.ops import OpKind
 from repro.opg.cpsat.model import CpModel, SolveStatus
 from repro.opg.cpsat.search import CpSolver
 from repro.opg.exact import edf_feasible, edf_feasible_reference, prove_window
 from repro.opg.heuristics import Budgets, greedy_assign, greedy_schedule
-from repro.opg.plan import OverlapPlan, PlanStats, WeightSchedule
+from repro.opg.plan import KvResidencyPlan, OverlapPlan, PlanStats, WeightSchedule
 from repro.opg.problem import OpgConfig, OpgProblem, WeightInfo, build_problem
 
 #: Sentinel assignment for dedicated-transform (conv) weights.
 DEDICATED = object()
+
+
+def plan_kv_residency(graph, plan: OverlapPlan, device, config: OpgConfig) -> Optional[KvResidencyPlan]:
+    """Grant the decode-phase KV caches a residency budget alongside weights.
+
+    Runs *after* the weight plan is solved: the caches receive at most
+    ``config.kv_budget_fraction`` of the device RAM budget, further capped
+    by the RAM the weight plan leaves free (preloaded weights are the
+    long-lived co-tenant).  The budget converts to a uniform per-cache cap
+    of whole attention tiles — at least one, so the hot tile receiving
+    appends can never spill mid-write.  Resident tiles live in texture
+    memory when they fit beside the preload set in half the RAM budget
+    (the texture pool's share), else in plain unified memory.
+
+    Returns None for graphs without KV caches (prefill lowering).
+    """
+    caches = graph.kv_cache_specs()
+    if not caches:
+        return None
+    tile_tokens = {n.spec.attrs["tile_tokens"] for n in graph.nodes()
+                   if n.kind is OpKind.FLASH_ATTENTION}
+    if len(tile_tokens) != 1:
+        raise ValueError(f"expected one uniform tile_tokens, got {sorted(tile_tokens)}")
+    tile = tile_tokens.pop()
+    token_bytes = sum(c.token_bytes for c in caches)
+    tile_bytes_all = token_bytes * tile
+    ram = device.ram_budget_bytes
+    headroom = max(0, ram - plan.preload_bytes)
+    budget = min(int(ram * config.kv_budget_fraction), headroom)
+    resident_tiles = max(1, budget // tile_bytes_all)
+    resident_bytes = resident_tiles * tile_bytes_all
+    texture = plan.preload_bytes + resident_bytes <= ram // 2
+    return KvResidencyPlan(
+        tile_tokens=tile,
+        budget_bytes=max(budget, tile_bytes_all),
+        resident_tiles=resident_tiles,
+        texture=texture,
+        token_bytes=token_bytes,
+        caches=len(caches),
+    )
 
 
 @dataclass

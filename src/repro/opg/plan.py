@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -80,6 +80,80 @@ class WeightSchedule:
 
 
 @dataclass
+class KvResidencyPlan:
+    """Residency schedule for the decode-phase KV caches (one per model).
+
+    Weights get a per-weight schedule above; KV caches get one shared policy
+    because they all grow in lockstep (one appended row pair per layer per
+    token).  The planner grants the caches a byte budget out of whatever RAM
+    the weight plan left free, converts it to a per-layer cap of
+    ``resident_tiles`` attention tiles, and the runtime keeps the *most
+    recent* tiles resident — older tiles spill to disk and are re-streamed
+    through the tiled attention kernel (priced by
+    :class:`repro.gpusim.kernels.FlashAttentionKernel`).
+
+    Per-token decode cost is piecewise-constant between *context-length
+    breakpoints* (tile boundaries); :meth:`breakpoints` enumerates them so
+    the executor can extrapolate within each segment.
+    """
+
+    #: K/V tokens per attention tile (uniform across the graph's caches).
+    tile_tokens: int
+    #: Byte budget granted to resident KV state across all caches.
+    budget_bytes: int
+    #: Max tiles of each cache kept resident (>= 1: the hot tile that
+    #: receives appends can never spill mid-write).
+    resident_tiles: int
+    #: Whether resident tiles live in texture memory (fast path) or plain
+    #: unified memory (UM_KV_BW_FACTOR-degraded reads).
+    texture: bool
+    #: Bytes appended across all caches per decoded token.
+    token_bytes: int
+    #: Number of per-layer caches sharing the policy.
+    caches: int
+
+    def tiles_at(self, kv_tokens: int) -> int:
+        """Tiles covering ``kv_tokens`` cached rows (per cache)."""
+        if kv_tokens <= 0:
+            raise ValueError("kv_tokens must be positive")
+        return -(-kv_tokens // self.tile_tokens)
+
+    def resident_tiles_at(self, kv_tokens: int) -> int:
+        """Resident tiles (per cache) once ``kv_tokens`` rows are cached."""
+        return min(self.tiles_at(kv_tokens), self.resident_tiles)
+
+    def resident_bytes_at(self, kv_tokens: int) -> int:
+        """Total resident KV bytes across all caches at ``kv_tokens`` rows.
+
+        Below the cap this is the exact cache content; at the cap it is the
+        capped tile footprint (the hot tile is accounted full, as allocated).
+        """
+        cap_tokens = self.resident_tiles * self.tile_tokens
+        return min(kv_tokens, cap_tokens) * self.token_bytes
+
+    def breakpoints(self, context_len: int, tokens: int) -> List[int]:
+        """Token indices (0-based, within the generation) where per-token
+        attention cost changes: the tile-boundary crossings of the growing
+        cache.  Always starts at 0; segment ``i`` spans
+        ``[breakpoints[i], breakpoints[i+1])`` (or to ``tokens``).
+        """
+        if tokens <= 0:
+            return []
+        out = [0]
+        t = 0
+        while True:
+            # Next token index at which tiles(context_len + t + 1) changes.
+            kv = context_len + t + 1
+            boundary = self.tiles_at(kv) * self.tile_tokens  # kv count filling the tile
+            nxt = boundary - context_len  # token index whose kv exceeds it
+            if nxt >= tokens:
+                break
+            out.append(nxt)
+            t = nxt
+        return out
+
+
+@dataclass
 class PlanStats:
     """Provenance of a plan: solver timings and fallback activity."""
 
@@ -138,6 +212,9 @@ class OverlapPlan:
     m_peak_bytes: int
     schedules: Dict[str, WeightSchedule]
     stats: PlanStats = field(default_factory=PlanStats)
+    #: Decode-phase KV residency policy; None for prefill-only graphs (and
+    #: for plans serialized before KV planning existed).
+    kv_plan: Optional[KvResidencyPlan] = None
 
     # --------------------------------------------------------------- queries
     @property
@@ -189,6 +266,7 @@ class OverlapPlan:
             "chunk_bytes": self.chunk_bytes,
             "m_peak_bytes": self.m_peak_bytes,
             "stats": asdict(self.stats),
+            "kv_plan": asdict(self.kv_plan) if self.kv_plan is not None else None,
             "schedules": {
                 name: {
                     **asdict(s),
@@ -214,4 +292,10 @@ class OverlapPlan:
             m_peak_bytes=payload["m_peak_bytes"],
             schedules=schedules,
             stats=PlanStats(**payload["stats"]),
+            # .get: plans serialized before KV planning have no such key.
+            kv_plan=(
+                KvResidencyPlan(**payload["kv_plan"])
+                if payload.get("kv_plan") is not None
+                else None
+            ),
         )

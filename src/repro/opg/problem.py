@@ -89,6 +89,12 @@ class OpgConfig:
     #: sequentially (the alternates would just steal the canonical
     #: search's core).
     portfolio: int = 0
+    #: Fraction of the device RAM budget the decode-phase KV caches may
+    #: occupy as resident state.  The KV residency planner additionally
+    #: caps the grant by the RAM the weight plan leaves free, so preload +
+    #: resident KV never exceed the budget by construction (see
+    #: :func:`repro.opg.lcopg.plan_kv_residency`).
+    kv_budget_fraction: float = 0.35
     preload_hint_weights: frozenset = frozenset()
 
     def __post_init__(self) -> None:
@@ -98,6 +104,8 @@ class OpgConfig:
             raise ValueError("lam must be in [0, 1]")
         if self.lookback < 1 or self.window_weights < 2:
             raise ValueError("lookback >= 1 and window_weights >= 2 required")
+        if not 0.0 < self.kv_budget_fraction <= 1.0:
+            raise ValueError("kv_budget_fraction must be in (0, 1]")
 
 
 @dataclass
@@ -163,9 +171,18 @@ def build_problem(
     config = config or OpgConfig()
     graph.freeze()
     nodes = graph.nodes()
-    capacity = [capacity_model.capacity_chunks(n.spec, config.chunk_bytes) for n in nodes]
-    m_peak_chunks = max(0, config.m_peak_bytes // config.chunk_bytes)
     from repro.graph.ops import OpKind
+
+    # Tiled decode-attention kernels saturate their memory pipeline with KV
+    # tile traffic (and may themselves be streaming spilled tiles from
+    # disk), so they host no embedded weight transforms regardless of what
+    # the generic REUSABLE inversion would grant them.
+    capacity = [
+        0 if n.kind is OpKind.FLASH_ATTENTION
+        else capacity_model.capacity_chunks(n.spec, config.chunk_bytes)
+        for n in nodes
+    ]
+    m_peak_chunks = max(0, config.m_peak_bytes // config.chunk_bytes)
 
     weights: List[WeightInfo] = []
     for w, node in graph.weights():

@@ -27,9 +27,19 @@ from repro.runtime.preemptive import (
     run_preemption_episode,
 )
 from repro.runtime.preload import ModelNotSupportedError, PreloadExecutor
+from repro.runtime.scenario import (
+    Scenario,
+    available_scenarios,
+    make_scenario,
+    resolve_scenario,
+)
 
 __all__ = [
     "FlashMemExecutor",
+    "Scenario",
+    "available_scenarios",
+    "make_scenario",
+    "resolve_scenario",
     "BASELINE_ORDER",
     "EXECUTORCH",
     "FRAMEWORK_PROFILES",

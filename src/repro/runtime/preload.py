@@ -16,8 +16,10 @@ from repro.graph.dag import Graph
 from repro.gpusim.device import DeviceProfile
 from repro.gpusim.engine import Simulation
 from repro.gpusim import pricing
+from repro.gpusim.kernels import FlashAttentionKernel
 from repro.gpusim.texture import texture_bytes, winograd_expansion
 from repro.runtime.frameworks import FrameworkProfile
+from repro.runtime.scenario import Scenario, resolve_scenario
 
 
 class ModelNotSupportedError(Exception):
@@ -35,18 +37,29 @@ class PreloadExecutor:
         self,
         graph: Graph,
         *,
-        iterations: int = 1,
+        scenario: Optional[Scenario] = None,
+        iterations: Optional[int] = None,
         check_support: bool = True,
         raise_on_oom: bool = False,
         use_cost_tables: Optional[bool] = None,
     ):
-        """Simulate init + ``iterations`` inference passes.
+        """Simulate init + the workload described by ``scenario``.
+
+        ``Scenario.prefill(n)`` (the historical ``iterations=`` shim) runs
+        ``n`` full passes with every weight resident.
+        ``Scenario.decode(...)`` runs autoregressive generation the way
+        every preloading framework does it: the *entire* KV cache stays in
+        unified memory and grows without bound — faster attention reads than
+        FlashMem's disk-streamed tiles, but linear memory growth that OOMs
+        long contexts (the Table 1 story, decode edition).
 
         Returns a :class:`~repro.gpusim.timeline.RunResult`; ``result.oom``
         situations set ``details['oom'] = 1`` (and raise when requested).
         ``use_cost_tables`` overrides :data:`pricing.COST_TABLES_DEFAULT`;
         the vectorized table prices exactly like the scalar per-node calls.
         """
+        scenario = resolve_scenario(scenario, iterations=iterations)
+        iterations = scenario.iterations
         wall0 = time.perf_counter()
         stats = pricing.STATS
         stats_before = stats.snapshot()
@@ -130,6 +143,144 @@ class PreloadExecutor:
         from repro.graph.ops import OpKind
 
         node_list = list(graph.nodes())
+
+        if scenario.is_decode:
+            # Preloading decode: the whole KV cache is unified-memory
+            # resident (no texture staging, no spilling).  Attention reads
+            # every cached tile from UM at the framework's kernel
+            # efficiency; the cache grows by one row pair per cache per
+            # token, unboundedly — the linear-memory failure mode FlashMem's
+            # residency cap is designed around.
+            caches = {c.name: c for c in graph.kv_cache_specs()}
+            flash_pos = []
+            flash_kernels = []
+            append_delta = {}
+            for pos, node in enumerate(node_list):
+                if node.kind is OpKind.FLASH_ATTENTION:
+                    flash_pos.append(pos)
+                    flash_kernels.append(FlashAttentionKernel.from_spec(node.spec))
+                elif node.kind is OpKind.KV_APPEND:
+                    append_delta[pos] = caches[node.spec.attrs["kv_cache"]].token_bytes
+            if not flash_pos:
+                raise ValueError(
+                    f"decode scenario requires a decode-phase graph; "
+                    f"{graph.name!r} has no tiled attention nodes"
+                )
+            tiles = {k.tile_tokens for k in flash_kernels}
+            if len(tiles) != 1:
+                raise ValueError(f"mixed attention tile sizes in {graph.name!r}: {sorted(tiles)}")
+            tile = tiles.pop()
+            context_len, tokens = scenario.context_len, scenario.tokens
+            token_bytes = sum(c.token_bytes for c in caches.values())
+            deltas_append = sim.raw_deltas().append
+            if context_len > 0:
+                deltas_append((init_end, context_len * token_bytes, 0))
+
+            eff = profile.exec_efficiency
+            conv_eff = profile.conv_exec_efficiency
+            base_durs = None
+            if use_cost_tables:
+                rows = graph._frozen_aggregate(
+                    ("pricing-rows", conv_eff, eff),
+                    lambda: tuple(
+                        pricing.spec_row(
+                            node.spec,
+                            efficiency=(
+                                conv_eff
+                                if node.kind in (OpKind.CONV2D, OpKind.DEPTHWISE_CONV2D)
+                                else eff
+                            ),
+                        )
+                        for node in node_list
+                    ),
+                )
+                base_durs = pricing.kernel_time_table(device, rows).tolist()
+
+            exec_time = 0.0
+            submit_fast = gpu.submit_fast
+            fl = {}
+            prev_tiles = -1
+            for t in range(tokens):
+                kv = context_len + t + 1
+                n_tiles = -(-kv // tile)
+                if n_tiles != prev_tiles:
+                    # Per-token cost only changes when the cache crosses a
+                    # tile boundary (all tiles are priced full).
+                    prev_tiles = n_tiles
+                    if use_cost_tables:
+                        frows = tuple(
+                            pricing.flash_row(
+                                k, kv, resident_tiles=None, texture=False, efficiency=eff
+                            )
+                            for k in flash_kernels
+                        )
+                        fl = dict(
+                            zip(flash_pos, pricing.flash_attention_time_table(device, frows).tolist())
+                        )
+                    else:
+                        fl = dict(
+                            zip(
+                                flash_pos,
+                                (
+                                    k.time_ms(
+                                        device, kv, resident_tiles=None, texture=False, efficiency=eff
+                                    )
+                                    for k in flash_kernels
+                                ),
+                            )
+                        )
+                for pos, node in enumerate(node_list):
+                    fdur = fl.get(pos)
+                    if fdur is not None:
+                        duration = fdur
+                    elif base_durs is not None:
+                        duration = base_durs[pos]
+                    else:
+                        duration = sim.cost.base_time_ms(
+                            node.spec,
+                            efficiency=(
+                                conv_eff
+                                if node.kind in (OpKind.CONV2D, OpKind.DEPTHWISE_CONV2D)
+                                else eff
+                            ),
+                        )
+                    start, end = submit_fast(f"t{t}:exec:{node.name}", duration, 0.0, "compute")
+                    exec_time += end - start
+                    kvd = append_delta.get(pos)
+                    if kvd is not None:
+                        deltas_append((end, kvd, 0))
+            sim.phases.execute = exec_time
+            end = sim.queues.makespan_ms
+            total_kv = (context_len + tokens) * token_bytes
+            if total_kv:
+                deltas_append((end, -total_kv, 0))
+            sim.free_all(end)
+            pricing_delta = stats.delta_since(stats_before)
+            wall = time.perf_counter() - wall0
+            stats.runs += 1
+            stats.sim_s += wall
+            decode_ms = end - init_end
+            details = {
+                "tokens": float(tokens),
+                "context_len": float(context_len),
+                "init_ms": init_end,
+                "decode_ms": decode_ms,
+                "ms_per_token": decode_ms / tokens,
+                "kv_bytes": float(total_kv),
+                "sim_s": wall,
+                "pricing_hits": float(pricing_delta["table_hits"]),
+                "pricing_misses": float(pricing_delta["table_misses"]),
+            }
+            if sim.oom:
+                details["oom"] = 1.0
+                if raise_on_oom:
+                    from repro.gpusim.memory import OutOfMemoryError
+
+                    raise OutOfMemoryError(
+                        0, sim.build_timeline().peak_bytes, device.ram_budget_bytes
+                    )
+            return sim.finish(details=details)
+
         durations = None
         if use_cost_tables:
             conv_eff = profile.conv_exec_efficiency

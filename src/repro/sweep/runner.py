@@ -84,11 +84,12 @@ def _execute_cell(cell: Cell) -> CellOutcome:
     try:
         if cell.kind == "flashmem":
             cache_hit = bool(store and store.contains(
-                common.flashmem_run_key(cell.name, cell.device, 1)))
+                common.flashmem_run_key(cell.name, cell.device, common.PREFILL_ONCE)))
             common.flashmem_result(cell.name, cell.device)
         elif cell.kind == "framework":
             cache_hit = bool(store and store.contains(
-                common.framework_run_key(cell.runtime, cell.name, cell.device, 1)))
+                common.framework_run_key(cell.runtime, cell.name, cell.device,
+                                         common.PREFILL_ONCE)))
             common.framework_result(cell.runtime, cell.name, cell.device)
         elif cell.kind == "driver":
             text, cache_hit = _run_driver(cell.name)

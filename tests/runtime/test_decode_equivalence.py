@@ -1,0 +1,147 @@
+"""Differential tests: decode steady-state extrapolation is exact.
+
+``FlashMemExecutor._run_decode`` simulates tokens 1-3 of each
+context-length segment, and — when tokens 2 and 3 produce matching
+instruction traces — replays the trace for the segment's remaining tokens.
+As with prefill extrapolation, the claim is byte-identity, not
+approximation: every ``RunResult`` field except the volatile wall-clock
+counters must agree with extrapolation disabled, across the whole
+breakpoint structure (growing KV, the growing->capped transition, and the
+capped steady state), on both runtimes' graphs.
+"""
+
+import pytest
+
+from repro.core.config import FlashMemConfig
+from repro.core.flashmem import FlashMem
+from repro.gpusim.device import get_device
+from repro.graph.models import load_decode_model
+from repro.opg.problem import OpgConfig
+from repro.runtime.frameworks import get_profile
+from repro.runtime.preload import PreloadExecutor
+from repro.runtime.scenario import Scenario
+
+MODELS = ("GPTN-S", "GPTN-1.3B")
+DEVICES = ("OnePlus 12", "Pixel 8")
+CONTEXT = 512
+TOKENS = 40  # several breakpoints deep at tile_tokens=256
+
+VOLATILE_DETAILS = {"sim_s", "pricing_hits", "pricing_misses", "replayed_tokens"}
+
+
+@pytest.fixture(scope="module")
+def fm():
+    return FlashMem(FlashMemConfig(opg=OpgConfig(time_limit_s=1.5, max_nodes_per_window=300)))
+
+
+@pytest.fixture(scope="module")
+def compiled_models(fm):
+    return {
+        (model, device_name): fm.compile(
+            load_decode_model(model, context_len=CONTEXT), get_device(device_name)
+        )
+        for model in MODELS
+        for device_name in DEVICES
+    }
+
+
+def assert_results_identical(fast, full):
+    assert fast.model == full.model and fast.device == full.device
+    assert fast.latency_ms == full.latency_ms
+    assert fast.phases == full.phases
+    assert fast.memory.samples == full.memory.samples
+    assert fast.peak_memory_bytes == full.peak_memory_bytes
+    assert fast.avg_memory_bytes == full.avg_memory_bytes
+    assert fast.energy_j == full.energy_j
+    assert fast.avg_power_w == full.avg_power_w
+    fast_details = {k: v for k, v in fast.details.items() if k not in VOLATILE_DETAILS}
+    full_details = {k: v for k, v in full.details.items() if k not in VOLATILE_DETAILS}
+    assert fast_details == full_details
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("device_name", DEVICES)
+def test_decode_extrapolation_byte_identical(fm, compiled_models, model, device_name):
+    compiled = compiled_models[(model, device_name)]
+    scenario = Scenario.decode(tokens=TOKENS, context_len=CONTEXT)
+    fast = fm.run(compiled, scenario=scenario, extrapolate=True)
+    full = fm.run(compiled, scenario=scenario, extrapolate=False)
+    assert_results_identical(fast, full)
+    assert fast.details["replayed_tokens"] > 0
+    assert full.details["replayed_tokens"] == 0
+    assert fast.details["tokens"] == TOKENS
+
+
+@pytest.mark.parametrize("tokens", (1, 2, 3, 5))
+def test_short_decodes_byte_identical(fm, compiled_models, tokens):
+    """Below/at the trace-recording threshold replay must not mis-engage."""
+    compiled = compiled_models[("GPTN-S", "OnePlus 12")]
+    scenario = Scenario.decode(tokens=tokens, context_len=CONTEXT)
+    fast = fm.run(compiled, scenario=scenario, extrapolate=True)
+    full = fm.run(compiled, scenario=scenario, extrapolate=False)
+    assert_results_identical(fast, full)
+
+
+def test_decode_composes_with_scalar_pricing(fm, compiled_models):
+    """All four (cost tables, extrapolate) combinations agree bitwise."""
+    compiled = compiled_models[("GPTN-S", "OnePlus 12")]
+    scenario = Scenario.decode(tokens=24, context_len=CONTEXT)
+    results = [
+        fm.run(compiled, scenario=scenario, use_cost_tables=tables, extrapolate=extrapolate)
+        for tables in (True, False)
+        for extrapolate in (True, False)
+    ]
+    reference = results[0]
+    for other in results[1:]:
+        assert_results_identical(other, reference)
+
+
+def test_streamed_weight_decode_byte_identical(fm):
+    """Forcing a partial preload exercises the streamed-weight decode path
+    (per-token disk refetches) — replay must stay exact there too."""
+    compiled = fm.compile(
+        load_decode_model("GPTN-S", context_len=CONTEXT),
+        get_device("OnePlus 12"),
+        target_preload_ratio=0.6,
+    )
+    assert compiled.preload_ratio < 1.0
+    scenario = Scenario.decode(tokens=TOKENS, context_len=CONTEXT)
+    fast = fm.run(compiled, scenario=scenario, extrapolate=True)
+    full = fm.run(compiled, scenario=scenario, extrapolate=False)
+    assert_results_identical(fast, full)
+
+
+def test_zero_context_decode(fm, compiled_models):
+    """Generation from an empty prompt starts with an empty cache."""
+    compiled = compiled_models[("GPTN-S", "OnePlus 12")]
+    scenario = Scenario.decode(tokens=12)
+    fast = fm.run(compiled, scenario=scenario, extrapolate=True)
+    full = fm.run(compiled, scenario=scenario, extrapolate=False)
+    assert_results_identical(fast, full)
+
+
+def test_decode_needs_kv_plan(fm):
+    """A prefill-compiled model cannot run the decode scenario."""
+    from repro.graph.models import load_model
+
+    compiled = fm.compile(load_model("ViT"), get_device("OnePlus 12"))
+    with pytest.raises(ValueError, match="KV residency plan"):
+        fm.run(compiled, scenario=Scenario.decode(tokens=4))
+
+
+def test_preload_baseline_decode_grows_unbounded(fm, compiled_models):
+    """The baseline's KV cache grows with context; FlashMem's stays capped."""
+    executor = PreloadExecutor(get_profile("MNN"), get_device("OnePlus 12"))
+    short_g = load_decode_model("GPTN-S", context_len=512)
+    long_g = load_decode_model("GPTN-S", context_len=4096)
+    short = executor.run(short_g, scenario=Scenario.decode(tokens=8, context_len=512),
+                         check_support=False)
+    long = executor.run(long_g, scenario=Scenario.decode(tokens=8, context_len=4096),
+                        check_support=False)
+    assert long.peak_memory_bytes > short.peak_memory_bytes
+    fm_short = fm.run(
+        compiled_models[("GPTN-S", "OnePlus 12")],
+        scenario=Scenario.decode(tokens=8, context_len=512),
+    )
+    kv_plan = compiled_models[("GPTN-S", "OnePlus 12")].plan.kv_plan
+    assert fm_short.details["kv_resident_bytes"] <= kv_plan.budget_bytes

@@ -18,6 +18,7 @@ from repro.core.flashmem import FlashMem
 from repro.gpusim.device import get_device
 from repro.graph.models import load_model
 from repro.opg.problem import OpgConfig
+from repro.runtime.scenario import Scenario
 
 MODELS = ("ViT", "GPTN-S", "ResNet50")
 DEVICES = ("OnePlus 12", "Pixel 8")
@@ -60,8 +61,9 @@ def assert_results_identical(fast, full):
 @pytest.mark.parametrize("iterations", ITERATION_COUNTS)
 def test_extrapolation_byte_identical(fm, compiled_models, model, device_name, iterations):
     compiled = compiled_models[(model, device_name)]
-    fast = fm.run(compiled, iterations=iterations, extrapolate=True)
-    full = fm.run(compiled, iterations=iterations, extrapolate=False)
+    scenario = Scenario.prefill(iterations)
+    fast = fm.run(compiled, scenario=scenario, extrapolate=True)
+    full = fm.run(compiled, scenario=scenario, extrapolate=False)
     assert_results_identical(fast, full)
     replayed = fast.details.get("replayed_iterations", 0.0)
     if iterations > 3:
@@ -75,7 +77,8 @@ def test_extrapolation_composes_with_scalar_pricing(fm, compiled_models):
     """All four (tables, extrapolate) combinations agree bitwise."""
     compiled = compiled_models[("ViT", "OnePlus 12")]
     results = [
-        fm.run(compiled, iterations=6, use_cost_tables=tables, extrapolate=extrapolate)
+        fm.run(compiled, scenario=Scenario.prefill(6),
+               use_cost_tables=tables, extrapolate=extrapolate)
         for tables in (True, False)
         for extrapolate in (True, False)
     ]

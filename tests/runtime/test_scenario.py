@@ -1,0 +1,132 @@
+"""Scenario API: validation, registry, and the ``iterations=`` shim.
+
+The executors' historical ``iterations=N`` keyword must keep producing
+byte-identical results through the deprecation shim (with a warning),
+while the ambiguous spelling — both ``scenario=`` and ``iterations=`` —
+is rejected outright.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.config import FlashMemConfig
+from repro.core.flashmem import FlashMem
+from repro.gpusim.device import get_device
+from repro.graph.models import load_model
+from repro.opg.problem import OpgConfig
+from repro.runtime.frameworks import get_profile
+from repro.runtime.preload import PreloadExecutor
+from repro.runtime.scenario import (
+    Scenario,
+    available_scenarios,
+    make_scenario,
+    resolve_scenario,
+)
+
+MODEL = "ViT"
+DEVICE = "OnePlus 12"
+
+
+@pytest.fixture(scope="module")
+def fm():
+    return FlashMem(FlashMemConfig(opg=OpgConfig(time_limit_s=1.0, max_nodes_per_window=300)))
+
+
+@pytest.fixture(scope="module")
+def compiled(fm):
+    return fm.compile(load_model(MODEL), get_device(DEVICE))
+
+
+# ------------------------------------------------------------- construction
+def test_prefill_factory_defaults():
+    s = Scenario.prefill()
+    assert s.kind == "prefill" and s.iterations == 1 and not s.is_decode
+
+
+def test_decode_factory():
+    s = Scenario.decode(tokens=32, context_len=512)
+    assert s.is_decode and s.tokens == 32 and s.context_len == 512
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(kind="prefill", iterations=0),
+        dict(kind="prefill", tokens=4),
+        dict(kind="prefill", context_len=4),
+        dict(kind="decode"),
+        dict(kind="decode", tokens=0),
+        dict(kind="decode", tokens=4, context_len=-1),
+        dict(kind="decode", tokens=4, iterations=2),
+        dict(kind="warmup"),
+    ],
+)
+def test_invalid_combinations_rejected(kwargs):
+    with pytest.raises(ValueError):
+        Scenario(**kwargs)
+
+
+def test_scenarios_are_hashable_values():
+    assert Scenario.prefill(3) == Scenario.prefill(3)
+    assert len({Scenario.prefill(3), Scenario.prefill(3)}) == 1
+    assert Scenario.prefill(1).cache_key() != Scenario.decode(tokens=1).cache_key()
+
+
+def test_registry_backs_the_cli():
+    kinds = available_scenarios()
+    assert set(kinds) == {"prefill", "decode"}
+    assert make_scenario("prefill", iterations=4) == Scenario.prefill(4)
+    assert make_scenario("decode", tokens=8, context_len=16) == Scenario.decode(
+        tokens=8, context_len=16
+    )
+    with pytest.raises(ValueError):
+        make_scenario("decode")  # tokens required
+    with pytest.raises(ValueError):
+        make_scenario("prefill", tokens=8)
+    with pytest.raises(ValueError):
+        make_scenario("chat")
+
+
+# ------------------------------------------------------------------- shims
+def test_resolve_scenario_paths():
+    assert resolve_scenario(None) == Scenario.prefill(1)
+    assert resolve_scenario(Scenario.prefill(5)) == Scenario.prefill(5)
+    assert resolve_scenario("prefill") == Scenario.prefill(1)
+    with pytest.warns(DeprecationWarning, match="iterations= is deprecated"):
+        assert resolve_scenario(None, iterations=7) == Scenario.prefill(7)
+    with pytest.raises(ValueError):
+        resolve_scenario(Scenario.prefill(2), iterations=2)
+
+
+def test_flashmem_iterations_shim_identical(fm, compiled):
+    """Old spelling: warns, but the result is byte-identical."""
+    new = fm.run(compiled, scenario=Scenario.prefill(4))
+    with pytest.warns(DeprecationWarning, match="iterations= is deprecated"):
+        old = fm.run(compiled, iterations=4)
+    assert old.latency_ms == new.latency_ms
+    assert old.memory.samples == new.memory.samples
+    assert old.energy_j == new.energy_j
+
+
+def test_flashmem_scenario_does_not_warn(fm, compiled):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        fm.run(compiled, scenario=Scenario.prefill(2))
+
+
+def test_flashmem_both_kwargs_rejected(fm, compiled):
+    with pytest.raises(ValueError, match="not both"):
+        fm.run(compiled, scenario=Scenario.prefill(2), iterations=2)
+
+
+def test_preload_iterations_shim_identical():
+    executor = PreloadExecutor(get_profile("MNN"), get_device(DEVICE))
+    graph = load_model(MODEL)
+    new = executor.run(graph, scenario=Scenario.prefill(3))
+    with pytest.warns(DeprecationWarning, match="iterations= is deprecated"):
+        old = executor.run(graph, iterations=3)
+    assert old.latency_ms == new.latency_ms
+    assert old.memory.samples == new.memory.samples
+    with pytest.raises(ValueError, match="not both"):
+        executor.run(graph, scenario=Scenario.prefill(3), iterations=3)

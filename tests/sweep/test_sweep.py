@@ -104,7 +104,7 @@ class TestCrossProcessCache:
         common.configure_cache(tmp_path)
         warm_result = common.flashmem_result("ResNet50", "OnePlus 12")
         direct = common.cache_store().load(
-            common.flashmem_run_key("ResNet50", "OnePlus 12", 1)
+            common.flashmem_run_key("ResNet50", "OnePlus 12", common.PREFILL_ONCE)
         )
         assert pickle.dumps(warm_result) == pickle.dumps(direct)
         assert common.cache_stats()["hits"] >= 1

@@ -74,6 +74,28 @@ def test_sweep_prewarm_quick():
     assert runner._pool is None
 
 
+def test_decode_ab_quick():
+    """Decode extrapolation A/B structure in-process under a small token
+    count (the full bench runs 1000 tokens in subprocesses)."""
+    from repro.core.flashmem import FlashMem
+    from repro.experiments import common
+    from repro.gpusim.device import get_device
+    from repro.graph.models import load_decode_model
+    from repro.runtime.scenario import Scenario
+
+    fm = FlashMem(common.experiment_flashmem_config())
+    compiled = fm.compile(
+        load_decode_model("GPTN-S", context_len=512), get_device("OnePlus 12")
+    )
+    scenario = Scenario.decode(tokens=32, context_len=512)
+    fast = fm.run(compiled, scenario=scenario, extrapolate=True)
+    full = fm.run(compiled, scenario=scenario, extrapolate=False)
+    assert fast.latency_ms == full.latency_ms
+    assert fast.peak_memory_bytes == full.peak_memory_bytes
+    assert fast.details["replayed_tokens"] > 0
+    assert full.details["replayed_tokens"] == 0
+
+
 def test_portfolio_quick():
     """Portfolio solve under tiny caps: status/objective sane, memo hit."""
     from repro.opg.cpsat.bench import build_window_model
