@@ -1,0 +1,199 @@
+"""Bench: plan-compilation service — scale-out, dedup, and warm reuse.
+
+Three measurements for the service tentpole, written to
+``results/BENCH_service.json`` so future PRs can track the trajectory:
+
+- **scaleout** — a fixed batch of distinct compile requests (mixed
+  models/devices) served by the daemon with 1, 2, and 4 pool workers,
+  fresh shared store per point; prewarm happens before the clock starts
+  (``PlanCompilationService.start()`` blocks on the pool barrier).
+  Acceptance: >= 1.7x at 2 workers and >= 3x at 4 workers over the
+  1-worker wall — when the kernel grants enough cores.  On a starved box
+  the points are annotated ``single_core_skip`` (the same idiom as
+  ``BENCH_sweep.json``) and the honest bar is bounded service overhead.
+- **dedup** — K identical concurrent requests for the heaviest workload
+  model vs one request, fresh service + store each side.  Acceptance: the
+  K-way batch costs <= 1.2x one compile, with exactly one pool dispatch
+  (K-1 waiters coalesce onto it).
+- **warm_reuse** — the scaleout batch replayed against the already
+  populated store: zero compiles, every reply served from the batched
+  store lookup, plans canonically byte-identical to direct compilation.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.experiments import common
+from repro.service import CompileRequest, PlanCompilationService, execute_compile
+
+#: Distinct (model, device) cells for the scale-out batch: the six sweep
+#: workload models on the primary device plus two on Pixel 8 so the batch
+#: splits 8 ways.
+SCALEOUT_REQUESTS = [
+    CompileRequest(model=m, device=d)
+    for m, d in [
+        ("ViT", "OnePlus 12"), ("DeepViT", "OnePlus 12"),
+        ("GPTN-S", "OnePlus 12"), ("Whisp-M", "OnePlus 12"),
+        ("ResNet50", "OnePlus 12"), ("DepA-S", "OnePlus 12"),
+        ("ViT", "Pixel 8"), ("GPTN-S", "Pixel 8"),
+    ]
+]
+
+#: Heaviest single compile in the workload set — makes the dedup ratio a
+#: measurement of coalescing, not of fixed service overhead.
+DEDUP_MODEL = "DeepViT"
+DEDUP_K = 8
+
+WORKER_POINTS = (1, 2, 4)
+
+
+def _serve_batch(requests, *, workers, cache_dir):
+    """Serve ``requests`` concurrently; returns (wall_s, replies, stats).
+
+    The clock starts after ``start()`` returns, i.e. after the pool is
+    spawned, imported, and store-initialized — prewarm cost is the
+    daemon's startup cost, not a per-request cost, and the scale-out bar
+    measures serving throughput only.
+    """
+    async def go():
+        async with PlanCompilationService(
+            workers=workers, cache_dir=cache_dir
+        ) as svc:
+            t0 = time.perf_counter()
+            replies = await asyncio.gather(*(svc.submit(r) for r in requests))
+            wall = time.perf_counter() - t0
+            return wall, replies, svc.stats.snapshot()
+
+    return asyncio.run(go())
+
+
+def _scaleout(tmp_path, cores):
+    points = {}
+    for workers in WORKER_POINTS:
+        wall, replies, stats = _serve_batch(
+            SCALEOUT_REQUESTS, workers=workers,
+            cache_dir=tmp_path / f"scale-{workers}w",
+        )
+        assert stats["compiles"] == len(SCALEOUT_REQUESTS)
+        assert stats["coalesced"] == 0 and stats["failures"] == 0
+        assert all(r.source == "compiled" for r in replies)
+        points[workers] = {"wall_s": round(wall, 3), "stats": stats}
+    base = points[WORKER_POINTS[0]]["wall_s"]
+    for workers, point in points.items():
+        point["speedup_vs_1w"] = round(base / max(point["wall_s"], 1e-9), 2)
+    return {
+        "requests": [r.label() for r in SCALEOUT_REQUESTS],
+        "cores": cores,
+        # With fewer usable cores than workers the extra processes time-slice
+        # one CPU: the speedup column is annotated as meaningless rather than
+        # asserted against (same idiom as BENCH_sweep.json).
+        "single_core_skip": cores < 2,
+        "points": {str(w): p for w, p in points.items()},
+    }
+
+
+def _dedup(tmp_path):
+    request = CompileRequest(model=DEDUP_MODEL)
+    # min-of-2 on both sides: these are sub-10s wall-clock samples on a
+    # possibly noisy box, and the ratio bar is tight.
+    one_samples, k_samples, k_stats = [], [], None
+    for rep in range(2):
+        wall, _, _ = _serve_batch(
+            [request], workers=1, cache_dir=tmp_path / f"dedup-one-{rep}"
+        )
+        one_samples.append(wall)
+        wall, replies, stats = _serve_batch(
+            [request] * DEDUP_K, workers=1,
+            cache_dir=tmp_path / f"dedup-k-{rep}",
+        )
+        assert stats["compiles"] == 1 and stats["coalesced"] == DEDUP_K - 1
+        assert len({r.plan.canonical_json() for r in replies}) == 1
+        k_samples.append(wall)
+        k_stats = stats
+    one_s, k_s = min(one_samples), min(k_samples)
+    return {
+        "model": DEDUP_MODEL, "k": DEDUP_K,
+        "one_request_s": round(one_s, 3),
+        "k_identical_s": round(k_s, 3),
+        "ratio": round(k_s / max(one_s, 1e-9), 3),
+        "stats": k_stats,
+    }
+
+
+def _warm_reuse(tmp_path):
+    """Replay the scale-out batch against the 1-worker run's store."""
+    cache = tmp_path / f"scale-{WORKER_POINTS[0]}w"
+    wall, replies, stats = _serve_batch(
+        SCALEOUT_REQUESTS, workers=1, cache_dir=cache
+    )
+    assert stats["compiles"] == 0
+    assert stats["store_hits"] == len(SCALEOUT_REQUESTS)
+    assert all(r.source == "store" for r in replies)
+    # Byte-identity: every served plan matches a direct in-process compile.
+    common.clear_caches()
+    identical = all(
+        reply.plan.canonical_json()
+        == execute_compile(reply.request).plan.canonical_json()
+        for reply in replies
+    )
+    return {
+        "wall_s": round(wall, 3),
+        "all_store_hits": True,
+        "plans_identical_to_direct": identical,
+        "stats": stats,
+    }
+
+
+def test_service_scaleout(benchmark, tmp_path):
+    cores = len(os.sched_getaffinity(0))
+    common.clear_caches()
+    result = benchmark.pedantic(
+        lambda: {
+            "scaleout": _scaleout(tmp_path, cores),
+            "dedup": _dedup(tmp_path),
+            "warm_reuse": _warm_reuse(tmp_path),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_service.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+
+    so, dd, warm = result["scaleout"], result["dedup"], result["warm_reuse"]
+    lines = [
+        f"{w}-worker: {p['wall_s']:.2f}s ({p['speedup_vs_1w']:.2f}x)"
+        for w, p in so["points"].items()
+    ]
+    print(
+        f"\nscale-out over {len(so['requests'])} requests, {so['cores']} core(s): "
+        + "   ".join(lines)
+        + f"\ndedup: {dd['k']} identical {dd['model']} requests {dd['k_identical_s']:.2f}s "
+        f"vs one {dd['one_request_s']:.2f}s ({dd['ratio']:.2f}x)\n"
+        f"warm reuse: {warm['wall_s']:.2f}s for {len(so['requests'])} store-served plans"
+    )
+
+    # Dedup bar: K-way identical concurrency costs about one compile.
+    assert dd["ratio"] <= 1.2
+    assert dd["stats"]["compiles"] == 1
+
+    # Warm-reuse bar: zero compiles, plans byte-identical to direct.
+    assert warm["plans_identical_to_direct"]
+    assert warm["stats"]["compiles"] == 0
+
+    # Scale-out bars — only meaningful when the kernel grants the cores.
+    # On a starved box (single_core_skip) N workers time-slice one CPU, so
+    # the honest assertion is bounded service overhead, not a fake speedup.
+    points = so["points"]
+    if so["single_core_skip"]:
+        assert points["2"]["wall_s"] < 1.5 * points["1"]["wall_s"]
+        assert points["4"]["wall_s"] < 1.5 * points["1"]["wall_s"]
+    else:
+        assert points["2"]["speedup_vs_1w"] >= 1.7
+        if so["cores"] >= 4:
+            assert points["4"]["speedup_vs_1w"] >= 3.0

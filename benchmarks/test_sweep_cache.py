@@ -66,14 +66,13 @@ def _serial_vs_parallel():
     walls = {}
     for jobs in (1, 2):
         common.clear_caches()
-        runner = SweepRunner(jobs=jobs, cache_dir=None)
         # Worker spawn + imports + store init happen before the timed run —
         # on short sweeps pool startup used to eat the whole parallel win.
-        runner.prewarm()
-        try:
+        # The context manager guarantees the pre-warmed pool is torn down
+        # even when the timed run raises.
+        with SweepRunner(jobs=jobs, cache_dir=None) as runner:
+            runner.prewarm()
             report = runner.run(cells)
-        finally:
-            runner.close()
         assert not report.failures, report.render()
         walls[jobs] = report.wall_s
     return {

@@ -10,6 +10,16 @@ Commands:
                                   KV-cache streaming (default scenario:
                                   single-pass prefill).
 - ``plan MODEL [--out F]``      — solve the overlap plan and print/export it.
+- ``compile MODEL [DEVICE]``    — run the offline compile pipeline for one
+                                  request; ``--via-service SOCKET`` sends it
+                                  to a running ``repro serve`` daemon
+                                  instead of compiling in-process.
+- ``serve``                     — run the plan-compilation service: an async
+                                  daemon that coalesces duplicate requests,
+                                  batches artifact-store lookups, and fans
+                                  compilation out over a pre-warmed process
+                                  pool (the cloud-side component a fleet of
+                                  phones would query).
 - ``experiment NAME``           — regenerate one paper table/figure, or
                                   ``all`` for the full suite; supports
                                   ``--jobs N`` (parallel sweep) and a
@@ -89,6 +99,43 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(K-1 alternate heuristics race for certificates)")
     run_p.add_argument("--solver-stats", action="store_true",
                        help="print the per-window CP solver statistics table")
+
+    compile_p = sub.add_parser(
+        "compile", help="run the offline compile pipeline for one request"
+    )
+    compile_p.add_argument("model", choices=sorted(set(ALL_CARDS) | set(DECODE_MODELS)))
+    compile_p.add_argument("device_pos", nargs="?", default=None, metavar="DEVICE",
+                           help="device preset name or alias (overrides --device)")
+    compile_p.add_argument("--device", default="OnePlus 12",
+                           help="device preset name or alias (e.g. 'oneplus12')")
+    compile_p.add_argument("--context", type=int, default=0,
+                           help="prompt length: >0 compiles the decode-phase graph")
+    compile_p.add_argument("--time-limit", type=float, default=None,
+                           help="LC-OPG solver budget in seconds (default 3.0)")
+    compile_p.add_argument("--preload-ratio", type=float, default=None,
+                           help="force a preload fraction (Figure 8 knob)")
+    compile_p.add_argument("--via-service", default=None, metavar="SOCKET",
+                           help="send the request to a running 'repro serve' "
+                                "daemon on this unix socket instead of "
+                                "compiling in-process")
+    compile_p.add_argument("--out", default=None, help="write the plan JSON here")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the plan-compilation service daemon"
+    )
+    serve_p.add_argument("--socket", default=None,
+                         help="unix socket to listen on "
+                              "(default: .repro-service.sock)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="compile pool size (0 = in-process inline mode)")
+    serve_p.add_argument("--max-batch", type=int, default=64,
+                         help="max requests drained per dedup/lookup batch")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="shared artifact store directory "
+                              "(default: $REPRO_CACHE_DIR or .artifact-cache)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="serve without a persistent store "
+                              "(every unique request compiles)")
 
     plan_p = sub.add_parser("plan", help="solve and inspect an overlap plan")
     plan_p.add_argument("model", choices=sorted(ALL_CARDS))
@@ -363,6 +410,80 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """``repro compile MODEL [DEVICE]``: one request, direct or via service."""
+    import json
+
+    from repro.service.request import CompileRequest, execute_compile
+
+    try:
+        request = CompileRequest(
+            model=args.model,
+            device=args.device_pos or args.device,
+            time_limit_s=args.time_limit if args.time_limit is not None else 3.0,
+            context_len=args.context,
+            target_preload_ratio=args.preload_ratio,
+        ).normalized()
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.via_service:
+        from repro.service.daemon import ServiceError
+        from repro.service.server import ServiceClient
+
+        try:
+            with ServiceClient(args.via_service) as client:
+                response = client.compile(request)
+        except (OSError, ServiceError) as exc:
+            raise SystemExit(f"error: service at {args.via_service}: {exc}")
+        print(f"{request.label()}: {response['solver_status']}, "
+              f"preload {response['preload_ratio'] * 100:.1f}% "
+              f"(served from {response['source']}"
+              + (", coalesced" if response["coalesced"] else "")
+              + (f", {response['wall_s']:.2f}s worker wall" if response["wall_s"] else "")
+              + ")")
+        plan_json = json.dumps(response["plan"], indent=2)
+    else:
+        compiled = execute_compile(request)
+        plan = compiled.plan
+        print(f"{request.label()}: {plan.stats.solver_status}, "
+              f"preload {plan.preload_ratio * 100:.1f}% "
+              f"(compiled in-process in {compiled.compile_s:.2f}s)")
+        plan_json = plan.to_json()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(plan_json)
+        print(f"  plan written to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the plan-compilation daemon until interrupted."""
+    import asyncio
+
+    from repro.service.server import DEFAULT_SOCKET, run_server
+    from repro.sweep.suite import DEFAULT_CACHE_DIR
+
+    socket_path = args.socket or DEFAULT_SOCKET
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    )
+
+    def ready() -> None:
+        print(f"plan-compilation service listening on {socket_path} "
+              f"({args.workers} worker(s), cache "
+              f"{cache_dir if cache_dir else 'disabled'}); Ctrl-C to stop",
+              flush=True)
+
+    try:
+        asyncio.run(run_server(
+            socket_path, workers=args.workers, cache_dir=cache_dir,
+            max_batch=args.max_batch, ready=ready,
+        ))
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.capacity.model import analytic_capacity_model
     from repro.opg.lcopg import LcOpgSolver
@@ -421,6 +542,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "profile":

@@ -28,7 +28,7 @@ import pickle
 import sys
 import warnings
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.opg.plan import OverlapPlan
 from repro.opg.problem import OpgConfig
@@ -176,12 +176,30 @@ class ArtifactStore:
     # ------------------------------------------------------------- load/save
     def load(self, key: Mapping[str, Any]) -> Optional[Any]:
         """Return the stored artifact, or None on miss/quarantine."""
+        with _deep_recursion():
+            return self._load_one(key)
+
+    def load_many(self, keys: Sequence[Mapping[str, Any]]) -> List[Optional[Any]]:
+        """Batched :meth:`load`: one value (or None) per key, in order.
+
+        The batch shares a single recursion-limit bump instead of paying the
+        ``sys.setrecursionlimit`` round trip per entry; misses cost only a
+        ``path.exists`` check (no envelope is opened), which is what makes
+        this the right primitive for a dedup pass over many candidate keys —
+        see :mod:`repro.service.daemon`.  Use :meth:`contains` when only
+        existence matters and the value is not needed at all.
+        """
+        with _deep_recursion():
+            return [self._load_one(key) for key in keys]
+
+    def _load_one(self, key: Mapping[str, Any]) -> Optional[Any]:
+        """One load, assuming the caller already holds ``_deep_recursion``."""
         path = self.path_for(key)
         if not path.exists():
             self.stats.misses += 1
             return None
         try:
-            with open(path, "rb") as fh, _deep_recursion():
+            with open(path, "rb") as fh:
                 envelope = pickle.load(fh)
             if (
                 not isinstance(envelope, dict)
@@ -204,6 +222,23 @@ class ArtifactStore:
         envelope = {"schema": self.schema, "key": canonical_key(key), "value": value}
         with _deep_recursion():
             blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(path, blob)
+        self.stats.stores += 1
+        return path
+
+    def publish_bytes(self, key: Mapping[str, Any], blob: bytes) -> pathlib.Path:
+        """Atomically install an already-pickled envelope under ``key``.
+
+        ``blob`` must be the exact envelope bytes another :class:`ArtifactStore`
+        instance with the same schema produced for the same key (envelopes
+        embed only schema + key + value, never the store root, so they are
+        portable between roots).  This is the zero-re-pickle publish path the
+        plan-compilation service uses: workers save into worker-local stores,
+        and the single daemon process copies the raw bytes into the shared
+        store — one writer, no pickling on the publish side, no contention.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write_bytes(path, blob)
         self.stats.stores += 1
         return path

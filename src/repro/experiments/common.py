@@ -122,9 +122,24 @@ def _store_save(key: Dict[str, Any], value: Any) -> None:
         _STORE.save(key, value)
 
 
-def compile_key(model: str, device_name: str, context_len: int = 0) -> Dict[str, Any]:
+def compile_key(
+    model: str,
+    device_name: str,
+    context_len: int = 0,
+    *,
+    config: Optional[FlashMemConfig] = None,
+) -> Dict[str, Any]:
+    """Artifact address of one compilation.
+
+    ``config=None`` fingerprints the standard experiment configuration, so
+    experiment drivers, sweep workers, and service requests running default
+    settings all address the *same* stored artifact; an explicit config
+    (service requests with a custom solver budget) addresses its own entry.
+    """
+    fingerprint = (experiment_config_fingerprint() if config is None
+                   else flashmem_config_fingerprint(config))
     key = {"kind": "compiled", "model": model, "device": device_name,
-           "config": experiment_config_fingerprint()}
+           "config": fingerprint}
     if context_len:
         key["context_len"] = int(context_len)
     return key

@@ -277,6 +277,20 @@ class OverlapPlan:
         }
         return json.dumps(payload, indent=2)
 
+    def canonical_json(self) -> str:
+        """Deterministic serialization of everything the runtime consumes.
+
+        ``stats`` is provenance (wall-clock solver timings, node counts) and
+        is excluded: two compiles of the same (model, device, config) produce
+        identical canonical JSON even though their timings differ.  This is
+        the byte-identity contract the cache and the plan-compilation
+        service are checked against — a served plan must be canonically
+        byte-identical to a direct ``FlashMem.compile`` of the same request.
+        """
+        payload = json.loads(self.to_json())
+        payload.pop("stats", None)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
     @classmethod
     def from_json(cls, text: str) -> "OverlapPlan":
         payload = json.loads(text)

@@ -121,6 +121,19 @@ def _worker_warmup(delay_s: float) -> int:
     return os.getpid()
 
 
+def prewarm_executor(pool: ProcessPoolExecutor, workers: int, barrier_s: float) -> List[int]:
+    """Force ``pool`` to spawn and initialize all ``workers`` now.
+
+    One barrier task per worker, each holding its worker busy long enough
+    that the pool cannot serve two tasks from the same process; returns the
+    worker pids.  Shared by :class:`SweepRunner` and the plan-compilation
+    service's :class:`~repro.service.pool.CompilePool` so process spawn +
+    module imports + store init are paid before the timed/served work.
+    """
+    futures = [pool.submit(_worker_warmup, barrier_s) for _ in range(workers)]
+    return [future.result() for future in futures]
+
+
 @dataclass
 class SweepReport:
     """Deterministically merged outcomes of one sweep."""
@@ -214,8 +227,13 @@ class SweepRunner:
     store configuration) ahead of ``run()``, so measured sweep wall time
     covers cell work only — worker startup used to eat the whole
     parallelism win on short sweeps.  A pre-warmed pool is reused across
-    ``run()`` calls; call ``close()`` (or rely on interpreter exit) to
-    tear it down.
+    ``run()`` calls.  The runner is a context manager — use ``with`` so
+    ``close()`` runs even when a timed ``run()`` raises (a bare
+    prewarm/run/close sequence leaks the pool on the exception path)::
+
+        with SweepRunner(jobs=4, cache_dir=cache) as runner:
+            runner.prewarm()
+            report = runner.run(cells)
     """
 
     def __init__(self, *, jobs: int = 1, cache_dir: Optional[PathLike] = None) -> None:
@@ -224,6 +242,12 @@ class SweepRunner:
         self.jobs = jobs
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def prewarm(self, *, barrier_s: float = 0.05) -> None:
         """Start every worker now; blocks until all are spawned and inited."""
@@ -234,11 +258,7 @@ class SweepRunner:
             initializer=_worker_init,
             initargs=(self.cache_dir,),
         )
-        # One barrier task per worker: each holds its worker long enough
-        # that the pool cannot serve two tasks from the same process.
-        futures = [self._pool.submit(_worker_warmup, barrier_s) for _ in range(self.jobs)]
-        for future in futures:
-            future.result()
+        prewarm_executor(self._pool, self.jobs, barrier_s)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -139,24 +139,26 @@ def run_suite(
         cells = primitive_cells(names)
         if cells:
             say(f"warming {len(cells)} primitive cells across {jobs} jobs ...")
-            prim_report = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(
-                cells,
-                progress=lambda o, done, total: say(
-                    f"  [{done}/{total}] {o.cell.label()} {o.wall_s:.2f}s"
-                    + (" [cached]" if o.cache_hit else "")
-                    + ("" if o.ok else f" FAILED: {o.error}")
-                ),
-            )
+            with SweepRunner(jobs=jobs, cache_dir=cache_dir) as runner:
+                prim_report = runner.run(
+                    cells,
+                    progress=lambda o, done, total: say(
+                        f"  [{done}/{total}] {o.cell.label()} {o.wall_s:.2f}s"
+                        + (" [cached]" if o.cache_hit else "")
+                        + ("" if o.ok else f" FAILED: {o.error}")
+                    ),
+                )
 
     say(f"running {len(names)} drivers ...")
-    driver_report = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(
-        driver_cells(names),
-        progress=lambda o, done, total: say(
-            f"  [{done}/{total}] {o.cell.name} {o.wall_s:.2f}s"
-            + (" [cached]" if o.cache_hit else "")
-            + ("" if o.ok else f" FAILED: {o.error}")
-        ),
-    )
+    with SweepRunner(jobs=jobs, cache_dir=cache_dir) as runner:
+        driver_report = runner.run(
+            driver_cells(names),
+            progress=lambda o, done, total: say(
+                f"  [{done}/{total}] {o.cell.name} {o.wall_s:.2f}s"
+                + (" [cached]" if o.cache_hit else "")
+                + ("" if o.ok else f" FAILED: {o.error}")
+            ),
+        )
 
     written: List[Path] = []
     if results_dir is not None:

@@ -56,6 +56,24 @@ class TestRoundTrip:
         assert store.contains(KEY)
         assert len(store) == 1
 
+    def test_load_many_matches_individual_loads(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = [{**KEY, "model": m} for m in ("ViT", "ResNet50", "GPTN-S")]
+        store.save(keys[0], "a")
+        store.save(keys[2], "c")
+        assert store.load_many(keys) == ["a", None, "c"]
+        assert store.stats.hits == 2 and store.stats.misses == 1
+        assert store.load_many([]) == []
+
+    def test_publish_bytes_round_trips_envelope(self, tmp_path):
+        """publish_bytes of one store's envelope is loadable from another."""
+        src = ArtifactStore(tmp_path / "src")
+        dst = ArtifactStore(tmp_path / "dst")
+        path = src.save(KEY, {"v": [1, 2, 3]})
+        dst.publish_bytes(KEY, path.read_bytes())
+        assert dst.load(KEY) == {"v": [1, 2, 3]}
+        assert dst.stats.stores == 1 and dst.stats.corrupt == 0
+
 
 class TestQuarantine:
     def test_corrupt_entry_quarantined_with_warning(self, tmp_path):

@@ -159,6 +159,30 @@ class TestPlanStructure:
         assert restored.schedules["w"].transforms == {6: 1, 8: 2}
         assert restored.schedules["w"].nbytes == 2500
 
+    def test_canonical_json_excludes_wall_clock_provenance(self):
+        import json
+
+        from repro.opg.plan import PlanStats
+
+        def plan(**stats):
+            return OverlapPlan(
+                model="m", device="d", chunk_bytes=1024, m_peak_bytes=1 << 20,
+                schedules={"w": self._schedule()}, stats=PlanStats(**stats),
+            )
+
+        a = plan(solve_s=0.123)
+        b = plan(solve_s=9.876, windows=3)
+        # Same decisions, different provenance → identical canonical bytes.
+        assert a.canonical_json() == b.canonical_json()
+        assert a.to_json() != b.to_json()
+        payload = json.loads(a.canonical_json())
+        assert "stats" not in payload
+        assert payload["schedules"]["w"]["nbytes"] == 2500
+        # A decision change does surface.
+        c = plan()
+        c.schedules["w"].transforms[6] = 3
+        assert c.canonical_json() != a.canonical_json()
+
 
 class TestValidator:
     def test_catches_c0_violation(self, capacity):

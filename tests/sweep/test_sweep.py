@@ -72,6 +72,14 @@ class TestRunner:
         )
         assert common.cache_store() is None
 
+    def test_context_manager_closes_pool_on_exception(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SweepRunner(jobs=2, cache_dir=tmp_path) as runner:
+                runner.prewarm(barrier_s=0.01)
+                assert runner._pool is not None
+                raise RuntimeError("boom")
+        assert runner._pool is None  # close() ran on the exception path
+
     def test_no_cache_bypasses_store(self, tmp_path):
         report = SweepRunner(jobs=1, cache_dir=None).run(
             [Cell("framework", "ViT", "OnePlus 12", "MNN")]

@@ -96,6 +96,40 @@ def test_decode_ab_quick():
     assert full.details["replayed_tokens"] == 0
 
 
+def test_service_dedup_quick(tmp_path):
+    """Inline-mode service pass: K duplicates coalesce to one compile and
+    a rerun is a pure store hit (the full bench measures the wall-clock
+    dedup bar and scale-out; see benchmarks/test_service_scaleout.py)."""
+    from repro.experiments import common
+    from repro.service import CompileRequest, compile_many
+
+    common.clear_caches()
+    try:
+        requests = [CompileRequest(model="ViT", time_limit_s=0.5)] * 4
+        replies = compile_many(requests, workers=0, cache_dir=tmp_path)
+        assert sum(r.coalesced for r in replies) == 3
+        assert len({r.plan.canonical_json() for r in replies}) == 1
+        (warm,) = compile_many(requests[:1], workers=0, cache_dir=tmp_path)
+        assert warm.source == "store"
+    finally:
+        common.clear_caches()
+        common.swap_store(None)
+
+
+def test_service_pool_prewarm_quick(tmp_path):
+    """Process-pool prewarm + dispatch + close mechanics for the service
+    pool (mirrors test_sweep_prewarm_quick)."""
+    from repro.service import CompilePool, CompileRequest
+
+    with CompilePool(workers=1, cache_dir=tmp_path) as pool:
+        pool.prewarm(barrier_s=0.01)
+        payload = CompileRequest(model="ViT", time_limit_s=0.5).to_payload()
+        reply = pool.submit(payload).result(timeout=300)
+        assert reply["source"] == "compiled"
+        assert reply["path"] is not None and reply["pid"] is not None
+    assert pool._pool is None
+
+
 def test_portfolio_quick():
     """Portfolio solve under tiny caps: status/objective sane, memo hit."""
     from repro.opg.cpsat.bench import build_window_model
