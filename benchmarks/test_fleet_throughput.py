@@ -1,0 +1,261 @@
+"""Bench: fleet trace replay — memoized episode execution vs naive.
+
+Written to ``results/BENCH_fleet.json``.  Three sections:
+
+- **ab** — the headline A/B: one device × runtime cell replaying a
+  1000-invocation mixed trace (vision/speech prefill + GPT-Neo decode +
+  throttle windows), each side in a fresh subprocess (interleaved,
+  minimum-of-N CPU-time samples; ``conftest.ab_subprocess``).  The memoized
+  side simulates each distinct episode once and splices the cached columnar
+  trace for the other ~97% of invocations; the naive side re-simulates
+  every invocation.  Both sides load compiled plans from the shared
+  artifact store and run with episode persistence off, so each timed pass
+  starts from an empty memo and the ratio isolates the replay engine.
+  Acceptance bar: >= 10x, with byte-identical cell results.
+
+- **identity** — the replay ≡ naive matrix over 2 devices × 2 runtimes:
+  every cell's canonical (hex-float) serialization must be identical
+  between the memoized and naive engines.
+
+- **scaleout** — ``run_fleet`` at jobs=1 vs jobs=2 over the 4-cell grid.
+  On a box without 2 usable cores the point is annotated
+  ``single_core_skip`` and the assertion is bounded overhead, not a fake
+  speedup (the BENCH_sweep/BENCH_service idiom).
+"""
+
+import gc
+import hashlib
+import json
+import os
+import pathlib
+import time
+
+from conftest import RESULTS_DIR, ab_subprocess, emit_record
+
+DEVICE = "OnePlus 12"
+RUNTIME = "FlashMem"
+TRACE_SEED = 1009
+AB_INVOCATIONS = 1000
+IDENTITY_INVOCATIONS = 120
+SCALEOUT_INVOCATIONS = 150
+IDENTITY_DEVICES = ("OnePlus 12", "Pixel 8")
+IDENTITY_RUNTIMES = ("FlashMem", "MNN")
+
+#: Timed passes inside each child (its record reports the fastest).
+CHILD_REPEATS = 2
+#: Child samples per A/B side (interleaved memo/naive; min is reported).
+AB_SAMPLES = 2
+
+#: The suite's persistent store (absolute: children run with a different
+#: cwd).  Compiled plans are warmed here by the parent.
+CACHE_DIR = str(pathlib.Path(__file__).resolve().parent.parent / ".artifact-cache")
+
+
+def _ab_trace(invocations: int):
+    from repro.fleet.trace import generate_trace
+
+    return generate_trace(
+        seed=TRACE_SEED,
+        duration_s=600.0,
+        rate_per_min=60.0,
+        invocations=invocations,
+        name=f"bench-seed{TRACE_SEED}",
+    )
+
+
+def _cell_digest(cell) -> str:
+    return hashlib.sha256(cell.canonical_json().encode()).hexdigest()
+
+
+def _measure_side(side: str) -> None:
+    """Child entry: time CHILD_REPEATS single-cell replays, report the fastest."""
+    from repro.experiments import common
+    from repro.fleet.episode import EpisodeProvider
+    from repro.fleet.replay import replay_trace
+
+    common.configure_cache(CACHE_DIR)
+    trace = _ab_trace(AB_INVOCATIONS)
+    memoize = side == "memo"
+
+    def one_pass():
+        # A fresh provider per pass: the memoized engine starts from an
+        # empty memo and still simulates each distinct episode once.
+        provider = EpisodeProvider(memoize=memoize)
+        cell = replay_trace(trace, DEVICE, RUNTIME, provider=provider)
+        return cell, provider
+
+    # Warm-up uses the memoized engine on both sides: it pulls compiled
+    # plans through the store and primes the pricing caches cheaply without
+    # paying a full naive pass before the timing starts.
+    replay_trace(trace, DEVICE, RUNTIME, provider=EpisodeProvider())
+    # Episode persistence off from here: each timed pass must rebuild its
+    # memo by simulation, not load a previous pass's episodes.
+    common.swap_store(None)
+    gc.collect()
+    gc.disable()
+    best = None
+    cell = provider = None
+    for _ in range(CHILD_REPEATS):
+        cpu0 = time.process_time()
+        cell, provider = one_pass()
+        cpu = time.process_time() - cpu0
+        if best is None or cpu < best:
+            best = cpu
+    gc.enable()
+    emit_record({
+        "side": side,
+        "cpu_s": round(best, 5),
+        "invocations": cell.invocations,
+        "episodes_simulated": provider.simulated,
+        "cell_sha256": _cell_digest(cell),
+        "timeline_sha256": cell.timeline_sha256,
+        "makespan_ms": cell.makespan_ms,
+        "energy_j": cell.energy_j,
+        "peak_bytes": cell.peak_bytes,
+    })
+
+
+def _warm_compiles() -> None:
+    """Populate the shared store with every compiled plan the trace needs."""
+    from repro.experiments import common
+
+    previous = common.swap_store(None)
+    try:
+        common.configure_cache(CACHE_DIR)
+        trace = _ab_trace(AB_INVOCATIONS)
+        for inv in trace.invocations:
+            if inv.scenario.is_decode:
+                common.cached_decode_compile(inv.model, DEVICE, inv.scenario.context_len)
+            else:
+                common.cached_compile(inv.model, DEVICE)
+    finally:
+        common.swap_store(previous)
+
+
+def _run_ab() -> dict:
+    _warm_compiles()
+    runs = {"memo": [], "naive": []}
+    for _ in range(AB_SAMPLES):
+        for side in ("memo", "naive"):
+            runs[side].append(
+                ab_subprocess("test_fleet_throughput", "_measure_side", side)
+            )
+    best_memo = min(runs["memo"], key=lambda r: r["cpu_s"])
+    best_naive = min(runs["naive"], key=lambda r: r["cpu_s"])
+    return {
+        "device": DEVICE,
+        "runtime": RUNTIME,
+        "invocations": AB_INVOCATIONS,
+        "samples_per_side": AB_SAMPLES,
+        "repeats_per_sample": CHILD_REPEATS,
+        "naive_s": best_naive["cpu_s"],
+        "memoized_s": best_memo["cpu_s"],
+        "speedup": round(best_naive["cpu_s"] / best_memo["cpu_s"], 2),
+        "memo": best_memo,
+        "naive": best_naive,
+    }
+
+
+def _run_identity() -> dict:
+    """Replay ≡ naive byte-identity across the device × runtime matrix."""
+    from repro.experiments import common
+    from repro.fleet.episode import EpisodeProvider
+    from repro.fleet.replay import replay_trace
+
+    previous = common.swap_store(None)  # identity must not depend on a store
+    try:
+        trace = _ab_trace(IDENTITY_INVOCATIONS)
+        cells = {}
+        for device in IDENTITY_DEVICES:
+            for runtime in IDENTITY_RUNTIMES:
+                memo = replay_trace(trace, device, runtime)
+                naive = replay_trace(
+                    trace, device, runtime, provider=EpisodeProvider(memoize=False)
+                )
+                cells[f"{device}/{runtime}"] = {
+                    "identical": memo.canonical_json() == naive.canonical_json(),
+                    "cell_sha256": _cell_digest(memo),
+                    "timeline_sha256": memo.timeline_sha256,
+                    "episodes_simulated_memo": memo.episodes_simulated,
+                    "episodes_simulated_naive": naive.episodes_simulated,
+                }
+        return {"invocations": IDENTITY_INVOCATIONS, "cells": cells}
+    finally:
+        common.swap_store(previous)
+
+
+def _run_scaleout(tmp_path) -> dict:
+    from repro.fleet.population import run_fleet
+
+    cores = os.cpu_count() or 1
+    trace = _ab_trace(SCALEOUT_INVOCATIONS)
+    points = {}
+    for jobs in (1, 2):
+        report = run_fleet(
+            trace,
+            IDENTITY_DEVICES,
+            IDENTITY_RUNTIMES,
+            jobs=jobs,
+            cache_dir=tmp_path / f"fleet-{jobs}j",
+        )
+        points[jobs] = {
+            "wall_s": round(report.wall_s, 3),
+            "device_hours": round(report.simulated_device_hours, 4),
+            "device_hours_per_s": round(report.device_hours_per_s, 2),
+            "episodes_simulated": report.episodes_simulated,
+        }
+    base = points[1]["wall_s"]
+    for point in points.values():
+        point["speedup_vs_1j"] = round(base / max(point["wall_s"], 1e-9), 2)
+    return {
+        "cores": cores,
+        "single_core_skip": cores < 2,
+        "invocations": SCALEOUT_INVOCATIONS,
+        "cells": len(IDENTITY_DEVICES) * len(IDENTITY_RUNTIMES),
+        "points": {str(j): p for j, p in points.items()},
+    }
+
+
+def test_fleet_throughput(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        lambda: {
+            "ab": _run_ab(),
+            "identity": _run_identity(),
+            "scaleout": _run_scaleout(tmp_path),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fleet.json").write_text(json.dumps(result, indent=2) + "\n")
+
+    ab = result["ab"]
+    print(
+        f"\nfleet ({AB_INVOCATIONS}-invocation mixed trace, {DEVICE}/{RUNTIME}): "
+        f"naive {ab['naive_s']:.2f}s -> memoized {ab['memoized_s']:.2f}s "
+        f"= {ab['speedup']:.1f}x "
+        f"({ab['memo']['episodes_simulated']} episodes simulated vs "
+        f"{ab['naive']['episodes_simulated']} naive simulations)"
+    )
+
+    # Byte-identity: the memoized replay IS the naive simulation, spliced.
+    assert ab["memo"]["cell_sha256"] == ab["naive"]["cell_sha256"]
+    assert ab["memo"]["timeline_sha256"] == ab["naive"]["timeline_sha256"]
+    assert ab["memo"]["invocations"] == AB_INVOCATIONS
+    for name, cell in result["identity"]["cells"].items():
+        assert cell["identical"], f"replay != naive in cell {name}"
+        assert cell["episodes_simulated_memo"] < cell["episodes_simulated_naive"]
+
+    # The memo must collapse ~1000 invocations to a few dozen episodes,
+    # then clear the headline bar.
+    assert ab["memo"]["episodes_simulated"] < AB_INVOCATIONS // 10
+    assert ab["naive"]["episodes_simulated"] >= AB_INVOCATIONS
+    assert ab["speedup"] >= 10.0
+
+    # Scale-out bars — only meaningful when the kernel grants the cores.
+    so = result["scaleout"]
+    points = so["points"]
+    if so["single_core_skip"]:
+        assert points["2"]["wall_s"] < 2.0 * points["1"]["wall_s"]
+    else:
+        assert points["2"]["speedup_vs_1j"] >= 1.3

@@ -20,6 +20,15 @@ Commands:
                                   compilation out over a pre-warmed process
                                   pool (the cloud-side component a fleet of
                                   phones would query).
+- ``make-trace OUT``            — generate a seeded fleet traffic trace
+                                  (arrivals, model mix, priorities, throttle
+                                  windows) and write it as JSON.
+- ``serve-trace TRACE``         — replay a fleet trace over the device ×
+                                  runtime grid with memoized episode
+                                  execution; ``--jobs N`` shards cells over
+                                  a pre-warmed process pool and the report
+                                  leads with simulated device-hours per
+                                  wall-clock second.
 - ``experiment NAME``           — regenerate one paper table/figure, or
                                   ``all`` for the full suite; supports
                                   ``--jobs N`` (parallel sweep) and a
@@ -61,6 +70,7 @@ EXPERIMENTS = [
     "table1", "fig2", "table4", "table5", "table6", "fig4",
     "table7", "table8", "fig6", "fig7", "fig8", "fig9", "table9", "fig10",
     "background_texture", "appendix_fp32", "ablations", "preemption", "decode",
+    "fleet",
 ]
 
 
@@ -136,6 +146,45 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--no-cache", action="store_true",
                          help="serve without a persistent store "
                               "(every unique request compiles)")
+
+    make_trace_p = sub.add_parser(
+        "make-trace", help="generate a seeded fleet traffic trace (JSON)"
+    )
+    make_trace_p.add_argument("out", help="path to write the trace JSON to")
+    make_trace_p.add_argument("--seed", type=int, default=0)
+    make_trace_p.add_argument("--duration-s", type=float, default=600.0,
+                              help="trace length in seconds (default 600)")
+    make_trace_p.add_argument("--rate-per-min", type=float, default=30.0,
+                              help="mean arrivals per minute (default 30)")
+    make_trace_p.add_argument("--invocations", type=int, default=None,
+                              help="pin the exact invocation count "
+                                   "(overrides the duration-derived count)")
+
+    serve_trace_p = sub.add_parser(
+        "serve-trace",
+        help="replay a fleet trace over the device x runtime grid",
+    )
+    serve_trace_p.add_argument("trace", help="trace JSON (see 'repro make-trace')")
+    serve_trace_p.add_argument("--jobs", type=int, default=1,
+                               help="worker processes for the cell grid "
+                                    "(default 1 = inline)")
+    serve_trace_p.add_argument("--devices", nargs="+", default=None,
+                               help="device presets to replay on "
+                                    "(default: OnePlus 12, Pixel 8)")
+    serve_trace_p.add_argument("--runtimes", nargs="+", default=None,
+                               help="runtimes to replay under "
+                                    "(default: FlashMem, MNN)")
+    serve_trace_p.add_argument("--slo-multiplier", type=float, default=None,
+                               help="SLO budget as a multiple of the nominal "
+                                    "episode latency (default 3.0)")
+    serve_trace_p.add_argument("--naive", action="store_true",
+                               help="disable episode memoization (simulate "
+                                    "every invocation; the benchmark baseline)")
+    serve_trace_p.add_argument("--cache-dir", default=None,
+                               help="persistent artifact cache directory "
+                                    "(default: $REPRO_CACHE_DIR or .artifact-cache)")
+    serve_trace_p.add_argument("--no-cache", action="store_true",
+                               help="replay without a persistent store")
 
     plan_p = sub.add_parser("plan", help="solve and inspect an overlap plan")
     plan_p.add_argument("model", choices=sorted(ALL_CARDS))
@@ -509,6 +558,51 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_make_trace(args: argparse.Namespace) -> int:
+    """``repro make-trace OUT``: generate and save a seeded fleet trace."""
+    from repro.fleet.trace import generate_trace
+
+    trace = generate_trace(
+        seed=args.seed,
+        duration_s=args.duration_s,
+        rate_per_min=args.rate_per_min,
+        invocations=args.invocations,
+    )
+    path = trace.save(args.out)
+    print(trace.describe())
+    print(f"trace written to {path}")
+    return 0
+
+
+def _cmd_serve_trace(args: argparse.Namespace) -> int:
+    """``repro serve-trace TRACE``: replay a trace over the fleet grid."""
+    from repro.fleet.population import DEFAULT_DEVICES, DEFAULT_RUNTIMES, run_fleet
+    from repro.fleet.replay import DEFAULT_SLO_MULTIPLIER
+    from repro.fleet.trace import Trace
+    from repro.sweep.suite import DEFAULT_CACHE_DIR
+
+    try:
+        trace = Trace.load(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"error: cannot load trace {args.trace}: {exc}")
+    devices = tuple(get_device(d).name for d in (args.devices or DEFAULT_DEVICES))
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    )
+    report = run_fleet(
+        trace,
+        devices,
+        tuple(args.runtimes or DEFAULT_RUNTIMES),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        slo_multiplier=(args.slo_multiplier if args.slo_multiplier is not None
+                        else DEFAULT_SLO_MULTIPLIER),
+        memoize=not args.naive,
+    )
+    print(report.render(), end="")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.sweep.suite import DEFAULT_CACHE_DIR, run_suite
 
@@ -546,6 +640,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compile(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "make-trace":
+        return _cmd_make_trace(args)
+    if args.command == "serve-trace":
+        return _cmd_serve_trace(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "profile":

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig8,
     fig9,
     fig10,
+    fleet,
     table1,
     table4,
     table5,
@@ -33,7 +34,7 @@ from repro.experiments.common import clear_caches
 
 __all__ = [
     "ablations", "appendix_fp32", "background_texture", "decode", "preemption",
-    "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fleet",
     "table1", "table4", "table5", "table6", "table7", "table8", "table9",
     "clear_caches",
 ]

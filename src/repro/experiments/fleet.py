@@ -1,0 +1,38 @@
+"""Fleet experiment — device-population trace replay (ROADMAP item 3).
+
+Replays a seeded five-minute multi-app trace (vision + speech prefill,
+GPT-Neo decode turns, thermal throttle windows) over the device × runtime
+grid and reports per-cell SLO attainment, p50/p99 latency, memory, and
+energy, plus the engine's headline throughput in simulated device-hours
+per wall-clock second.
+
+The replay is memoized: each distinct (model, device, runtime, scenario,
+throttle-state) episode simulates once and every further invocation splices
+the cached columnar timeline — identical results to naive per-invocation
+simulation (see ``benchmarks/test_fleet_throughput.py`` for the A/B and the
+byte-identity matrix).
+"""
+
+from __future__ import annotations
+
+SEED = 42
+DURATION_S = 300.0
+RATE_PER_MIN = 40.0
+DEVICES = ("OnePlus 12", "Pixel 8")
+RUNTIMES = ("FlashMem", "MNN")
+
+
+def run(jobs: int = 1):
+    # Imported lazily: repro.fleet reads the shared caches in
+    # repro.experiments.common, so a module-level import here would be
+    # circular through the experiments package.
+    from repro.fleet.population import run_fleet
+    from repro.fleet.trace import generate_trace
+
+    trace = generate_trace(
+        seed=SEED,
+        duration_s=DURATION_S,
+        rate_per_min=RATE_PER_MIN,
+        name=f"fleet-seed{SEED}",
+    )
+    return run_fleet(trace, DEVICES, RUNTIMES, jobs=jobs)

@@ -1,0 +1,205 @@
+"""Population fan-out: a device × runtime grid replayed over a process pool.
+
+One fleet run shards the grid's cells over a pre-warmed
+:class:`~concurrent.futures.ProcessPoolExecutor`
+(:func:`repro.sweep.runner.prewarm_executor` — spawn + import + store init
+paid before the timed work).  Workers share the episode/compile artifact
+store through the PR-8 read-through idiom: each writes a private
+``worker-local/<pid>`` layer and reads through to the shared directory, so
+one worker's simulated episode is every later cell's cache hit without
+write races.
+
+The headline metric is **simulated device-hours per wall-clock second**:
+how much device-population time one machine can evaluate per second.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.episode import EpisodeProvider
+from repro.fleet.replay import DEFAULT_SLO_MULTIPLIER, CellResult, replay_trace
+from repro.fleet.trace import Trace
+
+#: Grid defaults: primary + most constrained device, FlashMem vs a
+#: representative preloader.
+DEFAULT_DEVICES = ("OnePlus 12", "Pixel 8")
+DEFAULT_RUNTIMES = ("FlashMem", "MNN")
+
+
+@dataclass
+class FleetReport:
+    """Merged outcome of one population run."""
+
+    trace_name: str
+    trace_summary: str
+    cells: List[CellResult] = field(default_factory=list)
+    jobs: int = 1
+    wall_s: float = 0.0
+    cache_dir: Optional[str] = None
+
+    @property
+    def simulated_device_hours(self) -> float:
+        return sum(cell.device_hours for cell in self.cells)
+
+    @property
+    def device_hours_per_s(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.simulated_device_hours / self.wall_s
+
+    @property
+    def episodes_simulated(self) -> int:
+        return sum(cell.episodes_simulated for cell in self.cells)
+
+    @property
+    def invocations(self) -> int:
+        return sum(cell.invocations for cell in self.cells)
+
+    def render(self) -> str:
+        """Text table for ``results/fleet.txt``."""
+        lines = [
+            "Fleet trace replay: device-population simulation",
+            f"trace: {self.trace_summary}",
+            (
+                f"grid: {len(self.cells)} cells, jobs={self.jobs}, "
+                f"wall {self.wall_s:.2f}s"
+            ),
+            (
+                f"throughput: {self.simulated_device_hours:.2f} simulated "
+                f"device-hours in {self.wall_s:.2f}s wall = "
+                f"{self.device_hours_per_s:.1f} device-hours/s"
+            ),
+            (
+                f"episodes simulated: {self.episodes_simulated} "
+                f"(for {self.invocations} invocations)"
+            ),
+            "",
+            (
+                f"{'device':<12} {'runtime':<9} {'SLO%':>6} {'p50 ms':>9} "
+                f"{'p99 ms':>9} {'peak MB':>8} {'avg MB':>7} {'energy J':>9}"
+            ),
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.device:<12} {cell.runtime:<9} "
+                f"{100.0 * cell.slo_attainment:>5.1f}% "
+                f"{cell.p50_ms:>9.1f} {cell.p99_ms:>9.1f} "
+                f"{cell.peak_bytes / 1e6:>8.0f} {cell.avg_bytes / 1e6:>7.0f} "
+                f"{cell.energy_j:>9.1f}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _fleet_worker_init(shared_dir: Optional[str]) -> None:
+    """Pool-worker pre-warm: imports + read-through store (PR-8 idiom)."""
+    from repro.service.pool import WORKER_LOCAL_DIR, raise_recursion_limit
+
+    raise_recursion_limit()
+    from repro.experiments import common
+    from repro.gpusim import pricing  # noqa: F401 — import cost is the point
+
+    if shared_dir is not None:
+        from repro.service.store import ReadThroughStore
+
+        private = os.path.join(shared_dir, WORKER_LOCAL_DIR, str(os.getpid()))
+        common.swap_store(ReadThroughStore(private, shared_dir))
+
+
+def _replay_cell(
+    trace_json: Dict[str, Any],
+    device: str,
+    runtime: str,
+    slo_multiplier: float,
+    memoize: bool,
+) -> CellResult:
+    """One grid cell, runnable in a pool worker or inline."""
+    trace = Trace.from_json(trace_json)
+    provider = EpisodeProvider(memoize=memoize)
+    return replay_trace(
+        trace, device, runtime, provider=provider, slo_multiplier=slo_multiplier
+    )
+
+
+def run_fleet(
+    trace: Trace,
+    devices: Sequence[str] = DEFAULT_DEVICES,
+    runtimes: Sequence[str] = DEFAULT_RUNTIMES,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    slo_multiplier: float = DEFAULT_SLO_MULTIPLIER,
+    memoize: bool = True,
+) -> FleetReport:
+    """Replay ``trace`` over the device × runtime grid.
+
+    ``jobs > 1`` shards cells over a pre-warmed spawn pool whose workers
+    read through to ``cache_dir``; pool spawn + import + store init happen
+    before the timed window, so ``wall_s`` measures replay work.  Cell
+    order in the report is deterministic (device-major) regardless of
+    completion order.  ``memoize=False`` runs the naive per-invocation
+    engine in every cell (the benchmark baseline).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    grid: List[Tuple[str, str]] = [(d, r) for d in devices for r in runtimes]
+    report = FleetReport(
+        trace_name=trace.name,
+        trace_summary=trace.describe(),
+        jobs=jobs,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+    )
+    trace_json = trace.to_json()
+    if jobs == 1 or len(grid) <= 1:
+        from repro.core.store import ArtifactStore
+        from repro.experiments import common
+
+        previous = common.swap_store(
+            ArtifactStore(cache_dir) if cache_dir is not None else common.cache_store()
+        )
+        try:
+            provider = EpisodeProvider(memoize=memoize)
+            start = time.perf_counter()
+            for device, runtime in grid:
+                report.cells.append(
+                    replay_trace(
+                        trace,
+                        device,
+                        runtime,
+                        provider=provider,
+                        slo_multiplier=slo_multiplier,
+                    )
+                )
+            report.wall_s = time.perf_counter() - start
+        finally:
+            common.swap_store(previous)
+        report.jobs = 1
+        return report
+
+    from repro.sweep.runner import prewarm_executor
+
+    workers = min(jobs, len(grid))
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_fleet_worker_init,
+        initargs=(str(cache_dir) if cache_dir is not None else None,),
+    )
+    try:
+        prewarm_executor(pool, workers, 0.05)
+        start = time.perf_counter()
+        futures = [
+            pool.submit(
+                _replay_cell, trace_json, device, runtime, slo_multiplier, memoize
+            )
+            for device, runtime in grid
+        ]
+        report.cells = [future.result() for future in futures]
+        report.wall_s = time.perf_counter() - start
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    report.jobs = workers
+    return report

@@ -13,7 +13,7 @@ watts, memory in bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional, Union
 
 GB_PER_S = 1e6  # bytes per ms
 
@@ -82,6 +82,54 @@ class DeviceProfile:
     def scaled(self, **overrides: object) -> "DeviceProfile":
         """Copy with fields replaced (for what-if sweeps)."""
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def throttled(
+        self,
+        factor: Union[float, str],
+        *,
+        rails: Optional[PowerRails] = None,
+    ) -> "DeviceProfile":
+        """Clock-throttled copy of this profile.
+
+        ``factor`` is a fraction of burst clocks in (0, 1], or the name of a
+        preset state from :data:`THROTTLE_STATES` ("nominal", "warm", "hot",
+        "critical").  GPU and memory clocks throttle together on mobile SoCs,
+        so the factor scales compute throughput and the UM/TM bandwidths; the
+        flash path (its own controller) and fixed launch/setup overheads are
+        untouched.  ``rails=`` optionally swaps the power rails — a throttled
+        SoC also draws less per phase.
+        """
+        if isinstance(factor, str):
+            if factor not in THROTTLE_STATES:
+                raise KeyError(
+                    f"unknown throttle state {factor!r}; "
+                    f"available: {sorted(THROTTLE_STATES)}"
+                )
+            factor = THROTTLE_STATES[factor]
+        factor = float(factor)
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"throttle factor must be in (0, 1], got {factor}")
+        if factor == 1.0 and rails is None:
+            return self
+        overrides: Dict[str, object] = {
+            "fp16_gflops": self.fp16_gflops * factor,
+            "um_bw": self.um_bw * factor,
+            "tm_upload_bw": self.tm_upload_bw * factor,
+        }
+        if rails is not None:
+            overrides["power"] = rails
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+#: Named sustained-clock states, as fractions of the burst clocks the base
+#: presets are calibrated at.  The thermal governor steps down through these
+#: as skin temperature rises (or the battery saver engages).
+THROTTLE_STATES: Dict[str, float] = {
+    "nominal": 1.00,   # burst clocks, cold chassis
+    "warm": 0.85,      # sustained load, passive dissipation keeping up
+    "hot": 0.70,       # governor capping GPU/memory clocks
+    "critical": 0.50,  # skin-temperature limit or battery saver
+}
 
 
 def oneplus_12() -> DeviceProfile:

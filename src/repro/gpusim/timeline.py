@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 class MemoryTimeline:
     """Step-function record of total memory in use over simulated time."""
@@ -88,6 +90,82 @@ class MemoryTimeline:
             out.append((t, self.usage_at(t)))
             t += resolution_ms
         return out
+
+
+# ------------------------------------------------------- columnar merging
+def session_deltas(timeline: MemoryTimeline) -> Tuple[np.ndarray, np.ndarray]:
+    """A timeline's step samples as (times, deltas) columns.
+
+    The first sample's delta is its absolute value, so ``np.cumsum(deltas)``
+    reproduces the sample values exactly (values are integer byte counts and
+    the deltas are int64 — the round trip is bit-exact).  This is the
+    recording format multi-session merges consume: a session's contribution
+    to a shared timeline is its delta train, offset to its start time.
+    """
+    samples = timeline.samples
+    n = len(samples)
+    times = np.fromiter((t for t, _ in samples), dtype=np.float64, count=n)
+    values = np.fromiter((v for _, v in samples), dtype=np.int64, count=n)
+    return times, np.diff(values, prepend=np.int64(0))
+
+
+def merge_session_columns(
+    sessions: Sequence[Tuple[float, np.ndarray, np.ndarray, float]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-session delta columns into one summed step function.
+
+    ``sessions`` holds ``(offset_ms, times, deltas, end_ms)`` per session —
+    ``times``/``deltas`` as produced by :func:`session_deltas`, ``offset_ms``
+    the session's position on the shared clock, and ``end_ms`` the instant
+    the session tears down.  Each session contributes its own step function
+    between ``offset_ms`` and ``end_ms`` and *zero* outside that window: a
+    teardown delta returning the session's running total to zero is emitted
+    at ``end_ms``, so the merged floor drops only when a session actually
+    ends — under concurrent sessions the remaining residents keep their
+    bytes counted (the conditional form of the old absolute ``record(end,
+    0)`` floor drop, which zeroed co-resident apps).
+
+    The merge is one numpy pass: concatenate all columns, stable-sort by
+    time (``np.lexsort``), cumulative-sum the deltas.  Stability extends the
+    simulator's same-instant tie rule (engine ``build_timeline``) across
+    session boundaries: within a session the original — already
+    tie-resolved — sample order is preserved, and at a shared instant an
+    earlier session's teardown free integrates before a later session's
+    first allocation, so a back-to-back handoff is an exchange, not a
+    transient double-residency.  Sessions must be supplied in start order.
+
+    Returns ``(times, totals)`` columns; totals are exact int64 sums, and
+    for non-overlapping sessions the columns are sample-for-sample what the
+    seed per-``record`` merge loop produced.
+    """
+    times_parts: List[np.ndarray] = [np.zeros(1, dtype=np.float64)]
+    delta_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+    for offset_ms, times, deltas, end_ms in sessions:
+        times = np.asarray(times, dtype=np.float64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        times_parts.append(times + offset_ms)
+        delta_parts.append(deltas)
+        # Teardown: the session's contribution returns to zero at its end.
+        times_parts.append(np.array([end_ms], dtype=np.float64))
+        delta_parts.append(np.array([-int(deltas.sum())], dtype=np.int64))
+    all_times = np.concatenate(times_parts)
+    all_deltas = np.concatenate(delta_parts)
+    order = np.lexsort((all_times,))  # stable: ties keep session order
+    merged_times = all_times[order]
+    totals = np.cumsum(all_deltas[order])
+    if len(totals) and totals.min() < 0:
+        raise ValueError("memory cannot be negative")
+    return merged_times, totals
+
+
+def merge_sessions(
+    sessions: Sequence[Tuple[float, np.ndarray, np.ndarray, float]],
+) -> MemoryTimeline:
+    """:func:`merge_session_columns`, materialized as a :class:`MemoryTimeline`."""
+    merged_times, totals = merge_session_columns(sessions)
+    timeline = MemoryTimeline()
+    timeline.samples = list(zip(merged_times.tolist(), totals.tolist()))
+    return timeline
 
 
 @dataclass

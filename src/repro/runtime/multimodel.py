@@ -1,19 +1,42 @@
 """Multi-model FIFO pipeline (paper §2.2, Figure 6).
 
-Runs a sequence of distinct models back-to-back on one device, stitching the
-per-run memory timelines into a single session timeline.  Under a preloading
+Runs a sequence of distinct models on one device, stitching the per-run
+memory timelines into a single session timeline.  Under a preloading
 runtime every invocation pays a cold-start init (repeated memory spikes);
 under FlashMem every invocation streams against its overlap plan, so the
 session's peak stays bounded.
+
+Session merging is columnar: each invocation contributes its memory
+timeline as a (times, deltas) column pair offset to its start, and the
+shared timeline is one numpy concat + stable sort + cumsum
+(:func:`~repro.gpusim.timeline.merge_sessions`) instead of a per-sample
+``record`` loop.  The old loop also force-recorded an *absolute* zero
+sample after every invocation — correct back-to-back, but it zeroed the
+session floor even when another app's session overlapped the boundary,
+under-counting concurrent-app memory.  The columnar merge drops each
+session's contribution individually at its teardown, so the floor reaches
+zero only across an actual idle gap.
+
+``run(sequence, arrivals=...)`` replays a timed trace: invocation *i*
+starts at ``arrivals[i]`` and sessions may overlap (concurrent apps).
+Per-invocation latencies still come from isolated runs — the pipeline
+models session *memory* concurrency, not kernel-level contention (the
+preemptive executor covers that); the fleet engine
+(:mod:`repro.fleet.replay`) adds FIFO queueing on top for SLO accounting.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.gpusim.timeline import MemoryTimeline, RunResult
+from repro.gpusim.timeline import (
+    MemoryTimeline,
+    RunResult,
+    merge_sessions,
+    session_deltas,
+)
 
 
 @dataclass
@@ -43,7 +66,7 @@ class PipelineResult:
 
     @property
     def total_ms(self) -> float:
-        return self.invocations[-1].end_ms if self.invocations else 0.0
+        return max((inv.end_ms for inv in self.invocations), default=0.0)
 
     @property
     def peak_memory_bytes(self) -> int:
@@ -70,7 +93,8 @@ class FifoPipeline:
 
     ``run_model`` maps a model name to a fresh :class:`RunResult` (cold
     start for preloaders, streamed for FlashMem) — the pipeline offsets each
-    run onto the session clock and merges the memory timelines.
+    run onto the session clock and merges the memory timelines as a sum of
+    per-session step functions.
     """
 
     def __init__(self, runtime: str, device: str, run_model: Callable[[str], RunResult]) -> None:
@@ -78,24 +102,51 @@ class FifoPipeline:
         self.device = device
         self.run_model = run_model
 
-    def run(self, sequence: Sequence[str]) -> PipelineResult:
+    def run(
+        self,
+        sequence: Sequence[str],
+        arrivals: Optional[Sequence[float]] = None,
+    ) -> PipelineResult:
+        """Replay ``sequence``; back-to-back by default, timed with ``arrivals``.
+
+        Without ``arrivals`` every invocation starts the instant the
+        previous one ends (the seed Figure 6 behaviour).  With ``arrivals``
+        (non-decreasing, one per invocation) each session starts at its
+        arrival time and overlapping sessions are *summed* — the memory of
+        an app that is still resident at another app's start stays counted.
+        """
+        if arrivals is not None:
+            if len(arrivals) != len(sequence):
+                raise ValueError("arrivals must match sequence length")
+            if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+                raise ValueError("arrivals must be non-decreasing")
         result = PipelineResult(runtime=self.runtime, device=self.device)
         clock = 0.0
-        for model in sequence:
+        sessions: List[Tuple[float, object, object, float]] = []
+        # Delta columns per distinct timeline object; holding the RunResult
+        # keeps ids stable (a freed object's id could be reused).
+        columns: Dict[int, Tuple[RunResult, object, object]] = {}
+        for index, model in enumerate(sequence):
             run = self.run_model(model)
-            for t, v in run.memory.samples:
-                result.memory.record(clock + t, v)
-            end = clock + run.latency_ms
+            cached = columns.get(id(run.memory))
+            if cached is None or cached[0].memory is not run.memory:
+                times, deltas = session_deltas(run.memory)
+                columns[id(run.memory)] = (run, times, deltas)
+            else:
+                _, times, deltas = cached
+            start = clock if arrivals is None else float(arrivals[index])
+            end = start + run.latency_ms
+            sessions.append((start, times, deltas, end))
             result.invocations.append(
                 PipelineInvocation(
                     model=model,
-                    start_ms=clock,
+                    start_ms=start,
                     end_ms=end,
                     peak_memory_bytes=run.peak_memory_bytes,
                     oom=bool(run.details.get("oom")),
                 )
             )
             result.energy_j += run.energy_j
-            result.memory.record(end, 0)
-            clock = end
+            clock = max(clock, end)
+        result.memory = merge_sessions(sessions)
         return result

@@ -1,0 +1,167 @@
+"""Tests for episode memoization and trace replay (scheduling + identity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.store import ArtifactStore
+from repro.experiments import common
+from repro.fleet.episode import EpisodeProvider
+from repro.fleet.replay import CellResult, replay_trace
+from repro.fleet.trace import ThrottleWindow, Trace, TraceInvocation, generate_trace
+from repro.runtime.scenario import Scenario
+
+PREFILL = Scenario.prefill(1)
+MIX = (("ViT", PREFILL, 1, 3.0), ("ResNet50", PREFILL, 0, 1.0))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(seed=3, duration_s=45, rate_per_min=40, mix=MIX, name="t")
+
+
+@pytest.fixture(scope="module")
+def memo_cell(trace):
+    return replay_trace(trace, "OnePlus 12", "FlashMem")
+
+
+class TestEpisodeProvider:
+    def test_memoizes_repeat_requests(self):
+        provider = EpisodeProvider()
+        a = provider.get("ViT", "OnePlus 12", "FlashMem", PREFILL, "nominal")
+        b = provider.get("ViT", "OnePlus 12", "FlashMem", PREFILL, "nominal")
+        assert a is b
+        assert provider.simulated == 1
+        assert provider.replayed == 1
+
+    def test_throttle_state_is_part_of_key(self):
+        provider = EpisodeProvider()
+        nominal = provider.get("ViT", "OnePlus 12", "FlashMem", PREFILL, "nominal")
+        hot = provider.get("ViT", "OnePlus 12", "FlashMem", PREFILL, "hot")
+        assert provider.simulated == 2
+        assert hot.latency_ms > nominal.latency_ms
+
+    def test_naive_mode_always_simulates(self):
+        provider = EpisodeProvider(memoize=False)
+        provider.get("ViT", "OnePlus 12", "FlashMem", PREFILL)
+        provider.get("ViT", "OnePlus 12", "FlashMem", PREFILL)
+        assert provider.simulated == 2
+        assert provider.replayed == 0
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(KeyError):
+            EpisodeProvider().get("ViT", "OnePlus 12", "FlashMem", PREFILL, "melting")
+
+    def test_episode_columns_round_trip(self):
+        episode = EpisodeProvider().get("ViT", "OnePlus 12", "FlashMem", PREFILL)
+        assert episode.latency_ms > 0
+        assert int(np.cumsum(episode.deltas).max()) == episode.peak_bytes
+        start, times, deltas, end = episode.session(100.0)
+        assert start == 100.0
+        assert end == pytest.approx(100.0 + episode.latency_ms)
+
+    def test_persistent_store_read_through(self, tmp_path):
+        previous = common.swap_store(ArtifactStore(tmp_path))
+        try:
+            first = EpisodeProvider()
+            first.get("ViT", "OnePlus 12", "FlashMem", PREFILL)
+            assert first.simulated == 1
+            # A fresh provider (fresh process, conceptually) hits the store.
+            second = EpisodeProvider()
+            second.get("ViT", "OnePlus 12", "FlashMem", PREFILL)
+            assert second.simulated == 0
+            assert second.replayed == 1
+        finally:
+            common.swap_store(previous)
+
+
+class TestReplayScheduling:
+    def test_device_serves_one_at_a_time(self, memo_cell):
+        ordered = sorted(memo_cell.outcomes, key=lambda o: o.start_ms)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.start_ms >= a.end_ms
+
+    def test_every_invocation_scheduled_once(self, trace, memo_cell):
+        assert memo_cell.invocations == len(trace.invocations)
+        assert sorted(o.index for o in memo_cell.outcomes) == list(
+            range(len(trace.invocations))
+        )
+
+    def test_no_start_before_arrival(self, memo_cell):
+        for outcome in memo_cell.outcomes:
+            assert outcome.start_ms >= outcome.arrival_ms
+            assert outcome.latency_ms >= outcome.end_ms - outcome.start_ms
+
+    def test_priority_wins_among_queued(self):
+        # Three arrivals while the device is busy with the first: the
+        # priority-1 request must start before the earlier priority-0 one.
+        trace = Trace(
+            name="p",
+            seed=0,
+            duration_ms=10_000.0,
+            invocations=[
+                TraceInvocation(0.0, "ViT", PREFILL, priority=0),
+                TraceInvocation(1.0, "ViT", PREFILL, priority=0),
+                TraceInvocation(2.0, "ViT", PREFILL, priority=1),
+            ],
+        )
+        cell = replay_trace(trace, "OnePlus 12", "FlashMem")
+        by_index = {o.index: o for o in cell.outcomes}
+        assert by_index[2].start_ms < by_index[1].start_ms
+
+    def test_throttled_window_slows_invocations(self):
+        hot = Trace(
+            name="hot",
+            seed=0,
+            duration_ms=60_000.0,
+            invocations=[TraceInvocation(1_000.0, "ViT", PREFILL, priority=1)],
+            throttle=[ThrottleWindow(0.0, 60_000.0, "critical")],
+        )
+        cool = Trace(
+            name="cool",
+            seed=0,
+            duration_ms=60_000.0,
+            invocations=[TraceInvocation(1_000.0, "ViT", PREFILL, priority=1)],
+        )
+        provider = EpisodeProvider()
+        slow = replay_trace(hot, "OnePlus 12", "FlashMem", provider=provider)
+        fast = replay_trace(cool, "OnePlus 12", "FlashMem", provider=provider)
+        assert slow.outcomes[0].state == "critical"
+        assert slow.outcomes[0].latency_ms > fast.outcomes[0].latency_ms
+        # Same SLO target either way: the budget is nominal-latency based.
+        assert slow.outcomes[0].slo_target_ms == fast.outcomes[0].slo_target_ms
+
+
+class TestReplayIdentity:
+    def test_memoized_equals_naive(self, trace, memo_cell):
+        naive = replay_trace(
+            trace, "OnePlus 12", "FlashMem", provider=EpisodeProvider(memoize=False)
+        )
+        assert naive.episodes_simulated > memo_cell.episodes_simulated
+        assert memo_cell.canonical_json() == naive.canonical_json()
+
+    def test_far_fewer_simulations(self, trace, memo_cell):
+        assert memo_cell.episodes_simulated < len(trace.invocations)
+        assert (
+            memo_cell.episodes_simulated + memo_cell.invocations_replayed
+            == 2 * len(trace.invocations)  # throttled + nominal per invocation
+        )
+
+
+class TestCellStats:
+    def test_percentiles_ordered(self, memo_cell):
+        assert 0 < memo_cell.p50_ms <= memo_cell.p99_ms
+        assert memo_cell.p99_ms <= max(o.latency_ms for o in memo_cell.outcomes)
+
+    def test_slo_attainment_bounds(self, memo_cell):
+        assert 0.0 <= memo_cell.slo_attainment <= 1.0
+
+    def test_empty_cell_defaults(self):
+        cell = CellResult(trace_name="t", device="d", runtime="r", slo_multiplier=3.0)
+        assert cell.p50_ms == 0.0
+        assert cell.slo_attainment == 1.0
+
+    def test_makespan_covers_trace(self, trace, memo_cell):
+        assert memo_cell.makespan_ms >= trace.duration_ms
+        assert memo_cell.device_hours == pytest.approx(
+            memo_cell.makespan_ms / 3_600_000.0
+        )

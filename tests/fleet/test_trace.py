@@ -1,0 +1,126 @@
+"""Tests for the seeded fleet trace generator and its JSON round trip."""
+
+import pytest
+
+from repro.fleet.trace import (
+    ThrottleWindow,
+    Trace,
+    TraceInvocation,
+    generate_trace,
+    scenario_from_key,
+)
+from repro.gpusim.device import THROTTLE_STATES
+from repro.runtime.scenario import Scenario
+
+
+class TestGenerate:
+    def test_seeded_deterministic(self):
+        a = generate_trace(seed=7, duration_s=120)
+        b = generate_trace(seed=7, duration_s=120)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(seed=1, duration_s=120)
+        b = generate_trace(seed=2, duration_s=120)
+        assert a.to_json() != b.to_json()
+
+    def test_arrivals_sorted_within_duration(self):
+        trace = generate_trace(seed=3, duration_s=300)
+        arrivals = [inv.arrival_ms for inv in trace.invocations]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < a < trace.duration_ms for a in arrivals)
+
+    def test_rate_controls_count(self):
+        slow = generate_trace(seed=5, duration_s=600, rate_per_min=6)
+        fast = generate_trace(seed=5, duration_s=600, rate_per_min=60)
+        assert len(fast.invocations) > 2 * len(slow.invocations)
+
+    def test_invocation_count_override(self):
+        trace = generate_trace(seed=5, duration_s=10, rate_per_min=6, invocations=50)
+        assert len(trace.invocations) == 50
+
+    def test_mix_includes_decode(self):
+        trace = generate_trace(seed=11, duration_s=600, rate_per_min=60)
+        kinds = {inv.scenario.kind for inv in trace.invocations}
+        assert kinds == {"prefill", "decode"}
+
+    def test_priorities_present(self):
+        trace = generate_trace(seed=11, duration_s=600, rate_per_min=60)
+        assert {inv.priority for inv in trace.invocations} == {0, 1}
+
+    def test_throttle_windows_valid(self):
+        trace = generate_trace(seed=13, duration_s=600)
+        assert trace.throttle
+        for window in trace.throttle:
+            assert window.state in THROTTLE_STATES
+            assert window.start_ms < window.end_ms <= trace.duration_ms
+
+
+class TestStateAt:
+    def test_nominal_outside_windows(self):
+        trace = Trace(
+            name="t",
+            seed=0,
+            duration_ms=100.0,
+            throttle=[ThrottleWindow(start_ms=10.0, end_ms=20.0, state="hot")],
+        )
+        assert trace.state_at(5.0) == "nominal"
+        assert trace.state_at(10.0) == "hot"
+        assert trace.state_at(19.999) == "hot"
+        assert trace.state_at(20.0) == "nominal"  # half-open window
+        assert trace.factor_at(15.0) == THROTTLE_STATES["hot"]
+
+    def test_later_window_wins_on_overlap(self):
+        trace = Trace(
+            name="t",
+            seed=0,
+            duration_ms=100.0,
+            throttle=[
+                ThrottleWindow(start_ms=0.0, end_ms=50.0, state="warm"),
+                ThrottleWindow(start_ms=30.0, end_ms=40.0, state="critical"),
+            ],
+        )
+        assert trace.state_at(35.0) == "critical"
+        assert trace.state_at(45.0) == "warm"
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        trace = generate_trace(seed=21, duration_s=120)
+        path = trace.save(tmp_path / "trace.json")
+        loaded = Trace.load(path)
+        assert loaded.to_json() == trace.to_json()
+        assert loaded.invocations == trace.invocations
+        assert loaded.throttle == trace.throttle
+
+    def test_version_checked(self, tmp_path):
+        data = generate_trace(seed=1, duration_s=10).to_json()
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            Trace.from_json(data)
+
+    def test_scenario_from_key_round_trip(self):
+        for scenario in (Scenario.prefill(3), Scenario.decode(tokens=8, context_len=64)):
+            assert scenario_from_key(scenario.cache_key()) == scenario
+
+
+class TestValidation:
+    def test_unsorted_invocations_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="t",
+                seed=0,
+                duration_ms=10.0,
+                invocations=[
+                    TraceInvocation(5.0, "ViT", Scenario.prefill(1)),
+                    TraceInvocation(1.0, "ViT", Scenario.prefill(1)),
+                ],
+            )
+
+    def test_bad_throttle_state_rejected(self):
+        with pytest.raises(KeyError):
+            ThrottleWindow(start_ms=0.0, end_ms=1.0, state="melting")
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            ThrottleWindow(start_ms=5.0, end_ms=5.0, state="hot")

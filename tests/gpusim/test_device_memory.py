@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.gpusim.device import DEVICE_PRESETS, get_device, oneplus_12, pixel_8, xiaomi_mi6
+from repro.gpusim.device import (
+    DEVICE_PRESETS,
+    THROTTLE_STATES,
+    PowerRails,
+    get_device,
+    oneplus_12,
+    pixel_8,
+    xiaomi_mi6,
+)
 from repro.gpusim.memory import MemoryPool, OutOfMemoryError
 
 
@@ -37,6 +45,51 @@ class TestDeviceProfiles:
         d = oneplus_12().scaled(ram_bytes=1024)
         assert d.ram_bytes == 1024
         assert d.gpu == "Adreno 750"  # other fields preserved
+
+
+class TestThrottled:
+    def test_factor_scales_clock_bound_rates(self):
+        base = oneplus_12()
+        hot = base.throttled(0.7)
+        assert hot.fp16_gflops == pytest.approx(0.7 * base.fp16_gflops)
+        assert hot.um_bw == pytest.approx(0.7 * base.um_bw)
+        assert hot.tm_upload_bw == pytest.approx(0.7 * base.tm_upload_bw)
+
+    def test_flash_path_and_overheads_untouched(self):
+        base = pixel_8()
+        hot = base.throttled("hot")
+        assert hot.disk_bw == base.disk_bw
+        assert hot.disk_latency_ms == base.disk_latency_ms
+        assert hot.kernel_launch_ms == base.kernel_launch_ms
+        assert hot.gpu_setup_ms == base.gpu_setup_ms
+        assert hot.name == base.name
+
+    def test_named_states(self):
+        base = oneplus_12()
+        for state, factor in THROTTLE_STATES.items():
+            dev = base.throttled(state)
+            assert dev.fp16_gflops == pytest.approx(factor * base.fp16_gflops)
+        # Sustained states are ordered below burst.
+        assert THROTTLE_STATES["critical"] < THROTTLE_STATES["hot"] < THROTTLE_STATES["warm"]
+
+    def test_nominal_is_identity(self):
+        base = oneplus_12()
+        assert base.throttled(1.0) is base
+        assert base.throttled("nominal") is base
+
+    def test_rails_override(self):
+        rails = PowerRails(idle_w=0.5, io_w=2.0, compute_w=3.0, overlap_w=4.0)
+        dev = oneplus_12().throttled("warm", rails=rails)
+        assert dev.power is rails
+
+    def test_invalid_inputs(self):
+        base = oneplus_12()
+        with pytest.raises(KeyError):
+            base.throttled("melting")
+        with pytest.raises(ValueError):
+            base.throttled(0.0)
+        with pytest.raises(ValueError):
+            base.throttled(1.5)
 
 
 class TestDeviceAliases:

@@ -94,6 +94,51 @@ class TestFifoPipeline:
         assert mnn.total_ms > session.total_ms
 
 
+class TestArrivals:
+    """Timed replay: overlapping sessions must sum, not zero each other."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, device, capacity):
+        models = {name: _model(name) for name in ("m1", "m2")}
+        plans = {name: LcOpgSolver(FAST).solve(g, capacity) for name, g in models.items()}
+        executor = FlashMemExecutor(device)
+        return FifoPipeline(
+            "FlashMem", device.name, lambda m: executor.run(models[m], plans[m])
+        )
+
+    def test_overlap_keeps_resident_memory(self, pipeline):
+        solo = pipeline.run(["m1"])
+        # Start m2 halfway through m1: at m1's end, m2 is still resident,
+        # so the floor must NOT drop to zero (the seed's unconditional
+        # record(end, 0) zeroed it).
+        overlap = pipeline.run(["m1", "m2"], arrivals=[0.0, solo.total_ms / 2])
+        first_end = overlap.invocations[0].end_ms
+        assert overlap.invocations[1].start_ms < first_end
+        assert overlap.memory.usage_at(first_end) > 0
+        # After everything ends, the session does drain to zero.
+        assert overlap.memory.usage_at(overlap.total_ms) == 0
+
+    def test_idle_gap_still_drops_to_zero(self, pipeline):
+        solo = pipeline.run(["m1"])
+        gap_start = solo.total_ms + 500.0
+        spaced = pipeline.run(["m1", "m2"], arrivals=[0.0, gap_start])
+        assert spaced.memory.usage_at(solo.total_ms + 250.0) == 0
+
+    def test_back_to_back_arrivals_match_default(self, pipeline):
+        default = pipeline.run(["m1", "m2"])
+        timed = pipeline.run(
+            ["m1", "m2"], arrivals=[inv.start_ms for inv in default.invocations]
+        )
+        assert timed.memory.samples == default.memory.samples
+        assert timed.total_ms == default.total_ms
+
+    def test_arrival_validation(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.run(["m1", "m2"], arrivals=[0.0])
+        with pytest.raises(ValueError):
+            pipeline.run(["m1", "m2"], arrivals=[10.0, 0.0])
+
+
 class TestNaivePlanners:
     def test_always_next_single_host(self, capacity):
         g = _model("g")

@@ -96,6 +96,31 @@ def test_decode_ab_quick():
     assert full.details["replayed_tokens"] == 0
 
 
+def test_fleet_ab_quick():
+    """Fleet replay A/B structure on a capped trace: memoized ≡ naive,
+    far fewer simulations (the full bench runs 1000 invocations in
+    subprocesses; see benchmarks/test_fleet_throughput.py)."""
+    from repro.fleet.episode import EpisodeProvider
+    from repro.fleet.replay import replay_trace
+    from repro.fleet.trace import generate_trace
+    from repro.runtime.scenario import Scenario
+
+    mix = (
+        ("ViT", Scenario.prefill(1), 1, 3.0),
+        ("ResNet50", Scenario.prefill(1), 0, 1.0),
+    )
+    trace = generate_trace(
+        seed=9, duration_s=60, rate_per_min=40, mix=mix, name="smoke"
+    )
+    memo = replay_trace(trace, "OnePlus 12", "FlashMem")
+    naive = replay_trace(
+        trace, "OnePlus 12", "FlashMem", provider=EpisodeProvider(memoize=False)
+    )
+    assert memo.canonical_json() == naive.canonical_json()
+    assert memo.episodes_simulated < naive.episodes_simulated
+    assert memo.invocations == len(trace.invocations)
+
+
 def test_service_dedup_quick(tmp_path):
     """Inline-mode service pass: K duplicates coalesce to one compile and
     a rerun is a pure store hit (the full bench measures the wall-clock
