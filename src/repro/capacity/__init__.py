@@ -9,7 +9,13 @@ from repro.capacity.classify import (
     threshold_for,
     threshold_for_kind,
 )
-from repro.capacity.gbt import GBTConfig, GradientBoostedTrees, RegressionTree
+from repro.capacity.cache import (
+    capacity_model_key,
+    capacity_store,
+    set_capacity_store,
+    trained_capacity_model,
+)
+from repro.capacity.gbt import FlatTree, GBTConfig, GradientBoostedTrees, RegressionTree
 from repro.capacity.model import (
     CapacityModelReport,
     LoadCapacityModel,
@@ -29,9 +35,14 @@ __all__ = [
     "classify",
     "threshold_for",
     "threshold_for_kind",
+    "FlatTree",
     "GBTConfig",
     "GradientBoostedTrees",
     "RegressionTree",
+    "capacity_model_key",
+    "capacity_store",
+    "set_capacity_store",
+    "trained_capacity_model",
     "CapacityModelReport",
     "LoadCapacityModel",
     "analytic_capacity_model",

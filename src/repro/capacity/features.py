@@ -9,7 +9,7 @@ shapes the way a mobile OpenCL backend would pick them.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -28,6 +28,11 @@ FEATURE_NAMES: List[str] = [
     "log_extra_bytes",
     "extra_ratio",
 ]
+
+#: Indices of the two load-dependent feature columns — the only columns the
+#: batched capacity bisection rewrites between regressor calls.
+LOAD_LOG_COL = FEATURE_NAMES.index("log_extra_bytes")
+LOAD_RATIO_COL = FEATURE_NAMES.index("extra_ratio")
 
 
 def global_work_size(op: OpSpec) -> int:
@@ -76,3 +81,19 @@ def featurize_batch(ops_and_loads) -> np.ndarray:
     if not rows:
         return np.empty((0, len(FEATURE_NAMES)))
     return np.vstack(rows)
+
+
+def load_feature_columns(extras, input_bytes) -> Tuple[List[float], List[float]]:
+    """The two load-dependent columns for batches of (extra, input) bytes.
+
+    Computed with the *same scalar operations* :func:`featurize` uses
+    (``math.log10``, int/int true division, ``min``), so writing these into
+    columns :data:`LOAD_LOG_COL`/:data:`LOAD_RATIO_COL` of a base feature
+    matrix reproduces per-row ``featurize(op, extra)`` output bit for bit —
+    the property the lockstep capacity bisection's batch-vs-sequential
+    equivalence rests on.  ``extras`` must be Python ints and
+    ``input_bytes`` the per-op ``max(1, op.input_bytes)``.
+    """
+    log_col = [math.log10(max(1.0, float(e))) for e in extras]
+    ratio_col = [min(50.0, e / b) for e, b in zip(extras, input_bytes)]
+    return log_col, ratio_col

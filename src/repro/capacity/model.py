@@ -8,18 +8,29 @@ predictor.  Two predictor backends:
   profiled samples and invert the *prediction* by bisection.
 
 Both yield a :class:`LoadCapacityModel` exposing ``capacity_bytes(op)``,
-which the solver consumes as C_l (converted to chunks).
+which the solver consumes as C_l (converted to chunks).  Hot callers
+(the fusion loop, the runtime planners, the OPG builder) go through
+``capacity_bytes_batch(ops)``, which advances every operator's bisection in
+lockstep — one batched regressor call per step instead of one single-row
+predict per (op, step) — and memoizes results per op fingerprint.  The
+original sequential path is kept verbatim as ``capacity_bytes_oracle`` for
+differential testing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.capacity.classify import threshold_for
-from repro.capacity.features import featurize
+from repro.capacity.features import (
+    LOAD_LOG_COL,
+    LOAD_RATIO_COL,
+    featurize,
+    load_feature_columns,
+)
 from repro.capacity.gbt import GBTConfig, GradientBoostedTrees
 from repro.capacity.profiler import LoadCapacityProfiler, ProfileDataset
 from repro.gpusim.device import DeviceProfile
@@ -61,6 +72,13 @@ class LoadCapacityModel:
         self.cost = KernelCostModel(device)
         self.regressor = regressor
         self.report: Optional[CapacityModelReport] = None
+        self._capacity_memo: Dict[tuple, int] = {}
+        self.stats: Dict[str, int] = {
+            "queries": 0,
+            "memo_hits": 0,
+            "bisections": 0,
+            "batch_predicts": 0,
+        }
 
     # ------------------------------------------------------------ training
     @classmethod
@@ -109,6 +127,41 @@ class LoadCapacityModel:
         log_latency = self.regressor.predict(featurize(op, extra_bytes).reshape(1, -1))[0]
         return float(10**log_latency)
 
+    def predict_latency_ms_oracle(self, op: OpSpec, extra_bytes: int = 0) -> float:
+        """Like :meth:`predict_latency_ms` via the per-row node-walk oracle."""
+        if self.backend == "analytic":
+            return self.cost.time_with_load_ms(op, extra_bytes)
+        assert self.regressor is not None
+        log_latency = self.regressor.predict_nodewalk(
+            featurize(op, extra_bytes).reshape(1, -1)
+        )[0]
+        return float(10**log_latency)
+
+    # ------------------------------------------------------------ capacities
+    @staticmethod
+    def _op_key(op: OpSpec) -> tuple:
+        """Fingerprint of every op attribute the capacity depends on."""
+        return (
+            op.kind,
+            op.op_class,
+            op.flops,
+            op.bytes_moved,
+            op.input_bytes,
+            op.output_bytes,
+            op.output_spec.numel,
+        )
+
+    def _leaf_specs(self, op: OpSpec) -> List[OpSpec]:
+        """Non-fused constituent ops (the op itself when not fused)."""
+        from repro.fusion.fuser import fused_members, is_fused
+
+        if not is_fused(op):
+            return [op]
+        leaves: List[OpSpec] = []
+        for member in fused_members(op):
+            leaves.extend(self._leaf_specs(member))
+        return leaves
+
     def capacity_bytes(self, op: OpSpec) -> int:
         """Load capacity C_l of one operator, in bytes.
 
@@ -118,24 +171,142 @@ class LoadCapacityModel:
         capacities (paper §4.3: ``C_fused ~= min(C_1, ..., C_k)``) — the
         fused loop structure is paced by its least load-tolerant stage.
         """
+        return self.capacity_bytes_batch([op])[0]
+
+    def capacity_bytes_batch(self, ops: Sequence[OpSpec]) -> List[int]:
+        """Load capacities for many operators with lockstep bisection.
+
+        Resolves fused ops to their leaf members, computes every uncached
+        leaf capacity in a single batch (the ``gbt`` backend advances all
+        bisections simultaneously — one batched regressor call per step),
+        and memoizes per op fingerprint so repeated fusion-loop queries are
+        dictionary lookups.  Returns plain Python ints, identical to
+        :meth:`capacity_bytes_oracle` per op.
+        """
+        memo = self._capacity_memo
+        self.stats["queries"] += len(ops)
+
+        resolved: List[Tuple[tuple, List[Tuple[tuple, OpSpec]]]] = []
+        pending: Dict[tuple, OpSpec] = {}
+        for op in ops:
+            leaves = self._leaf_specs(op)
+            lkeys = [self._op_key(s) for s in leaves]
+            okey = lkeys[0] if len(lkeys) == 1 else ("fused", tuple(lkeys))
+            resolved.append((okey, list(zip(lkeys, leaves))))
+            if okey in memo:
+                self.stats["memo_hits"] += 1
+                continue
+            for key, spec in zip(lkeys, leaves):
+                if key not in memo and key not in pending:
+                    pending[key] = spec
+
+        if pending:
+            keys = list(pending)
+            specs = [pending[k] for k in keys]
+            thresholds = [threshold_for(s) for s in specs]
+            if self.backend == "analytic":
+                values = [
+                    0 if t <= 0.0 else self.cost.load_capacity_bytes(s, t)
+                    for s, t in zip(specs, thresholds)
+                ]
+            else:
+                values = self._gbt_capacity_lockstep(specs, thresholds)
+            for key, value in zip(keys, values):
+                memo[key] = int(value)
+
+        out: List[int] = []
+        for okey, leaves in resolved:
+            value = memo.get(okey)
+            if value is None:
+                value = min(memo[key] for key, _ in leaves)
+                memo[okey] = value
+            out.append(value)
+        return out
+
+    @staticmethod
+    def _set_load_columns(
+        X: np.ndarray, extras: Sequence[int], input_bytes: Sequence[int]
+    ) -> None:
+        log_col, ratio_col = load_feature_columns(extras, input_bytes)
+        X[:, LOAD_LOG_COL] = log_col
+        X[:, LOAD_RATIO_COL] = ratio_col
+
+    def _gbt_capacity_lockstep(
+        self, specs: Sequence[OpSpec], thresholds: Sequence[float]
+    ) -> List[int]:
+        """Bisect all ops' capacities at once over batched regressor calls."""
+        assert self.regressor is not None
+        results = [0] * len(specs)
+        active = [i for i, t in enumerate(thresholds) if t > 0.0]
+        if not active:
+            return results
+
+        X = np.vstack([featurize(specs[i], 0) for i in active])
+        self.stats["batch_predicts"] += 1
+        base_log = self.regressor.predict(X)
+        limit = (10.0**base_log) * (
+            1.0 + np.asarray([thresholds[i] for i in active], dtype=float)
+        )
+        input_bytes = [max(1, specs[i].input_bytes) for i in active]
+        hi0 = [max(specs[i].input_bytes * 16, 1 << 20) for i in active]
+
+        # Ops already within the latency limit at the top of the search
+        # range saturate there (same early-out as the sequential path).
+        self._set_load_columns(X, hi0, input_bytes)
+        self.stats["batch_predicts"] += 1
+        saturated = (10.0 ** self.regressor.predict(X)) <= limit
+        remaining = []
+        for pos, i in enumerate(active):
+            if saturated[pos]:
+                results[i] = hi0[pos]
+            else:
+                remaining.append(pos)
+        if not remaining:
+            return results
+
+        rows = np.asarray(remaining)
+        Xr = np.ascontiguousarray(X[rows])
+        limit_r = limit[rows]
+        ib_r = [input_bytes[p] for p in remaining]
+        lo = np.zeros(len(remaining), dtype=np.int64)
+        hi = np.asarray([hi0[p] for p in remaining], dtype=np.int64)
+        self.stats["bisections"] += len(remaining)
+        for _ in range(40):
+            mid = (lo + hi) // 2
+            mids = [int(v) for v in mid]
+            self._set_load_columns(Xr, mids, ib_r)
+            self.stats["batch_predicts"] += 1
+            ok = (10.0 ** self.regressor.predict(Xr)) <= limit_r
+            lo = np.where(ok, mid, lo)
+            hi = np.where(ok, hi, mid)
+        for pos, p in enumerate(remaining):
+            results[active[p]] = int(lo[pos])
+        return results
+
+    def capacity_bytes_oracle(self, op: OpSpec) -> int:
+        """Sequential reference path (pre-batching), for differential tests.
+
+        One scalar 40-step bisection per op with a fresh single-row
+        node-walk predict per step — no memo, no batching.
+        """
         from repro.fusion.fuser import fused_members, is_fused
 
         if is_fused(op):
-            return min(self.capacity_bytes(m) for m in fused_members(op))
+            return min(self.capacity_bytes_oracle(m) for m in fused_members(op))
         threshold = threshold_for(op)
         if threshold <= 0.0:
             return 0
         if self.backend == "analytic":
             return self.cost.load_capacity_bytes(op, threshold)
         # GBT backend: bisect over the regressor's predictions.
-        base = self.predict_latency_ms(op, 0)
+        base = self.predict_latency_ms_oracle(op, 0)
         limit = base * (1.0 + threshold)
         lo, hi = 0, max(op.input_bytes * 16, 1 << 20)
-        if self.predict_latency_ms(op, hi) <= limit:
+        if self.predict_latency_ms_oracle(op, hi) <= limit:
             return hi
         for _ in range(40):
             mid = (lo + hi) // 2
-            if self.predict_latency_ms(op, mid) <= limit:
+            if self.predict_latency_ms_oracle(op, mid) <= limit:
                 lo = mid
             else:
                 hi = mid
@@ -146,6 +317,12 @@ class LoadCapacityModel:
         if chunk_bytes <= 0:
             raise ValueError("chunk_bytes must be positive")
         return self.capacity_bytes(op) // chunk_bytes
+
+    def capacity_chunks_batch(self, ops: Sequence[OpSpec], chunk_bytes: int) -> List[int]:
+        """Batched :meth:`capacity_chunks` over the lockstep capacity path."""
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        return [c // chunk_bytes for c in self.capacity_bytes_batch(ops)]
 
 
 def analytic_capacity_model(device: DeviceProfile) -> LoadCapacityModel:

@@ -41,6 +41,10 @@ Commands:
                                   execution (``FlashMem.run``) and print the
                                   hotspots plus the run's pricing/replay
                                   counters (simulation hot-path triage).
+- ``profile capacity MODEL DEVICE`` — time the capacity pipeline's phases
+                                  (profiling, GBT fit, lockstep bisection),
+                                  print the Figure 4 accuracy report and the
+                                  per-op-class capacity distributions.
 
 Device arguments accept normalized aliases ("oneplus12", "pixel8", any
 case/spacing) in addition to the exact marketing names.
@@ -109,6 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(K-1 alternate heuristics race for certificates)")
     run_p.add_argument("--solver-stats", action="store_true",
                        help="print the per-window CP solver statistics table")
+    run_p.add_argument("--capacity-backend", default="analytic",
+                       choices=["analytic", "gbt"],
+                       help="load-capacity model: exact cost-model inverse "
+                            "or the paper's profiled GBT regressor")
 
     compile_p = sub.add_parser(
         "compile", help="run the offline compile pipeline for one request"
@@ -128,6 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="send the request to a running 'repro serve' "
                                 "daemon on this unix socket instead of "
                                 "compiling in-process")
+    compile_p.add_argument("--capacity-backend", default="analytic",
+                           choices=["analytic", "gbt"],
+                           help="load-capacity model: exact cost-model inverse "
+                                "or the paper's profiled GBT regressor")
     compile_p.add_argument("--out", default=None, help="write the plan JSON here")
 
     serve_p = sub.add_parser(
@@ -232,6 +244,18 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="price kernels with the scalar per-node model")
     prof_run.add_argument("--no-extrapolate", action="store_true",
                           help="simulate every iteration instead of replaying steady state")
+    prof_capacity = prof_sub.add_parser(
+        "capacity",
+        help="time the capacity pipeline (profile/fit/bisect) and print "
+             "per-class capacity distributions plus the Figure 4 report",
+    )
+    prof_capacity.add_argument("model", choices=sorted(ALL_CARDS))
+    prof_capacity.add_argument("device", help="device preset name or alias")
+    prof_capacity.add_argument("--seed", type=int, default=0,
+                               help="profiling/regression seed (default 0)")
+    prof_capacity.add_argument("--max-ops", type=int, default=24,
+                               help="stratified per-model profiling op budget "
+                                    "(default 24)")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS + ["all"],
@@ -383,6 +407,53 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_capacity(args: argparse.Namespace) -> int:
+    """``repro profile capacity MODEL DEVICE``: capacity-pipeline triage."""
+    import time as _time
+    from collections import defaultdict
+
+    from repro.capacity.model import LoadCapacityModel
+    from repro.capacity.profiler import LoadCapacityProfiler
+
+    device = get_device(args.device)
+    graph = load_model(args.model)
+    profiler = LoadCapacityProfiler(device, seed=args.seed)
+    t0 = _time.perf_counter()
+    dataset = profiler.profile_graph(graph, max_ops=args.max_ops)
+    profile_s = _time.perf_counter() - t0
+    t0 = _time.perf_counter()
+    model = LoadCapacityModel.from_dataset(device, dataset, seed=args.seed)
+    fit_s = _time.perf_counter() - t0
+    ops = [n.spec for n in graph.nodes()]
+    t0 = _time.perf_counter()
+    caps = model.capacity_bytes_batch(ops)
+    bisect_s = _time.perf_counter() - t0
+
+    assert model.report is not None and model.regressor is not None
+    cfg = model.regressor.config
+    print(f"capacity pipeline for {graph.summary()} on {device.name} (gbt backend):")
+    print(f"  phases: profile {profile_s:.3f}s ({len(dataset)} samples), "
+          f"fit {fit_s:.3f}s ({cfg.n_estimators} '{cfg.tree_method}' trees), "
+          f"capacities {bisect_s:.3f}s ({len(ops)} ops -> "
+          f"{model.stats['bisections']} lockstep bisections, "
+          f"{model.stats['batch_predicts']} batched predicts)")
+    rep = model.report
+    print(f"  figure-4 report: {rep.n_samples} samples, "
+          f"train RMSE {rep.train_rmse_log10:.4f}, "
+          f"holdout RMSE {rep.holdout_rmse_log10:.4f} log10-ms "
+          f"(~{rep.holdout_mean_rel_error * 100:.1f}% rel. latency error)")
+    by_class = defaultdict(list)
+    for op, cap in zip(ops, caps):
+        by_class[op.op_class.value].append(cap / 1e6)
+    print("  per-class load-capacity distribution (MB):")
+    print(f"    {'class':14s} {'ops':>5s} {'min':>9s} {'median':>9s} {'max':>9s}")
+    for cls in sorted(by_class):
+        vals = sorted(by_class[cls])
+        print(f"    {cls:14s} {len(vals):>5d} {vals[0]:>9.2f} "
+              f"{vals[len(vals) // 2]:>9.2f} {vals[-1]:>9.2f}")
+    return 0
+
+
 def _resolve_cli_scenario(args: argparse.Namespace):
     """Build the Scenario a ``run``/``profile run`` invocation asked for."""
     if args.scenario == "decode":
@@ -418,7 +489,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}")
     graph = _load_cli_graph(args.model, scenario)
     config = FlashMemConfig(
-        opg=OpgConfig(time_limit_s=args.time_limit, portfolio=args.portfolio)
+        opg=OpgConfig(time_limit_s=args.time_limit, portfolio=args.portfolio),
+        capacity_backend=args.capacity_backend,
     )
     fm = FlashMem(config)
     print(f"Compiling {graph.summary()} for {device.name} ({scenario.describe()}) ...")
@@ -472,6 +544,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             time_limit_s=args.time_limit if args.time_limit is not None else 3.0,
             context_len=args.context,
             target_preload_ratio=args.preload_ratio,
+            capacity_backend=args.capacity_backend,
         ).normalized()
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
@@ -649,6 +722,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "profile":
         if args.profile_what == "run":
             return _cmd_profile_run(args)
+        if args.profile_what == "capacity":
+            return _cmd_profile_capacity(args)
         return _cmd_profile(args)
     return 2
 

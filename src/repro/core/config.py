@@ -25,7 +25,9 @@ class FlashMemConfig:
         use_kernel_rewriting: embed transforms in rewritten compute kernels;
             off, chunks move via dedicated data-loading kernels.
         capacity_backend: "analytic" (exact inverse of the cost model) or
-            "gbt" (paper's profiling + regression path; slower to build).
+            "gbt" (the paper's profiling + regression path; histogram
+            training + store-cached models make it a first-class compile
+            configuration).
         capacity_seed: seed for profiling/regression determinism.
     """
 

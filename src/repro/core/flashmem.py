@@ -67,14 +67,21 @@ class FlashMem:
     ) -> LoadCapacityModel:
         """Build the load-capacity model for ``device``.
 
-        The "gbt" backend profiles ``profile_graphs`` (required) and trains
-        the regression model the way the paper does; "analytic" inverts the
-        simulator's cost model exactly.
+        The "gbt" backend trains the regression model the way the paper
+        does: over explicit ``profile_graphs`` when given, otherwise over
+        the standard model-zoo profile set via the read-through
+        capacity-model cache (:mod:`repro.capacity.cache` — trained once
+        per device, warm-loaded from the artifact store afterwards).
+        "analytic" inverts the simulator's cost model exactly.
         """
         if self.config.capacity_backend == "gbt":
-            if profile_graphs is None:
-                raise ValueError("gbt capacity backend requires profile_graphs")
-            return LoadCapacityModel.train(device, profile_graphs, seed=self.config.capacity_seed)
+            if profile_graphs is not None:
+                return LoadCapacityModel.train(
+                    device, profile_graphs, seed=self.config.capacity_seed
+                )
+            from repro.capacity.cache import trained_capacity_model
+
+            return trained_capacity_model(device, seed=self.config.capacity_seed)
         return analytic_capacity_model(device)
 
     def compile(

@@ -6,7 +6,8 @@ runtime overhead").  Two stores implement that flow:
 
 - :class:`ArtifactStore` — the general, content-addressed store behind the
   experiment pipeline.  It persists arbitrary pickled artifacts (compiled
-  models, run results, rendered driver outputs) keyed by a structured key
+  models, run results, trained capacity models, rendered driver outputs)
+  keyed by a structured key
   dict; the path is derived from a digest of the key plus the artifact
   schema version, so a schema bump or any key change addresses a fresh
   entry.  Writes are atomic (unique tmp file + ``os.replace``) so racing

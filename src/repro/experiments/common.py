@@ -20,6 +20,7 @@ import pathlib
 from functools import lru_cache
 from typing import Any, Dict, Optional, Union
 
+from repro.capacity import cache as capacity_cache
 from repro.capacity.model import LoadCapacityModel, analytic_capacity_model
 from repro.core.config import FlashMemConfig
 from repro.core.flashmem import CompiledModel, FlashMem
@@ -58,8 +59,15 @@ def experiment_opg_config(**overrides) -> OpgConfig:
     return OpgConfig(**base)
 
 
-def experiment_flashmem_config(**opg_overrides) -> FlashMemConfig:
-    return FlashMemConfig(opg=experiment_opg_config(**opg_overrides))
+def experiment_flashmem_config(**overrides) -> FlashMemConfig:
+    """Standard experiment pipeline config; ``capacity_backend``/
+    ``capacity_seed`` land on the :class:`FlashMemConfig`, everything else
+    on its :class:`OpgConfig`."""
+    fm_kwargs = {}
+    for key in ("capacity_backend", "capacity_seed"):
+        if key in overrides:
+            fm_kwargs[key] = overrides.pop(key)
+    return FlashMemConfig(opg=experiment_opg_config(**overrides), **fm_kwargs)
 
 
 # --------------------------------------------------------- persistent layer
@@ -73,6 +81,7 @@ def configure_cache(cache_dir: Union[str, pathlib.Path, None]) -> Optional[Artif
     global _STORE
     _STORE = ArtifactStore(cache_dir) if cache_dir is not None else None
     pricing.set_pricing_store(_STORE)
+    capacity_cache.set_capacity_store(_STORE)
     return _STORE
 
 
@@ -91,6 +100,7 @@ def swap_store(store: Optional[ArtifactStore]) -> Optional[ArtifactStore]:
     previous = _STORE
     _STORE = store
     pricing.set_pricing_store(store)
+    capacity_cache.set_capacity_store(store)
     return previous
 
 
@@ -105,6 +115,8 @@ def cache_stats() -> Dict[str, int]:
              else {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0})
     stats["pricing_hits"] = pricing.STATS.table_hits
     stats["pricing_misses"] = pricing.STATS.table_misses
+    stats["capacity_trains"] = capacity_cache.STATS["trains"]
+    stats["capacity_store_hits"] = capacity_cache.STATS["store_hits"]
     return stats
 
 
@@ -165,8 +177,16 @@ def cached_graph(model: str) -> Graph:
     return load_model(model)
 
 
-@lru_cache(maxsize=8)
-def cached_capacity(device_name: str) -> LoadCapacityModel:
+@lru_cache(maxsize=16)
+def cached_capacity(device_name: str, backend: str = "analytic") -> LoadCapacityModel:
+    """Capacity model per (device, backend).
+
+    ``gbt`` goes through the read-through capacity-model cache
+    (:mod:`repro.capacity.cache`): trained once per device across
+    processes sharing a store, warm-loaded everywhere else.
+    """
+    if backend == "gbt":
+        return capacity_cache.trained_capacity_model(get_device(device_name))
     return analytic_capacity_model(get_device(device_name))
 
 
@@ -298,3 +318,4 @@ def clear_caches() -> None:
                framework_result, cached_decode_graph, cached_decode_compile,
                flashmem_decode_result, framework_decode_result):
         fn.cache_clear()
+    capacity_cache.clear_capacity_cache()

@@ -13,7 +13,6 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.capacity.features import featurize
 from repro.capacity.model import LoadCapacityModel
 from repro.capacity.profiler import LoadCapacityProfiler
 from repro.experiments.common import DEFAULT_DEVICE, cached_graph
@@ -54,11 +53,12 @@ def run(device: str = DEFAULT_DEVICE, *, seed: int = 0, max_ops_per_model: int =
     model = LoadCapacityModel.from_dataset(dev, dataset, seed=seed)
     assert model.report is not None
 
-    # Per-class relative error on a fresh holdout.
+    # Per-class relative error on a fresh holdout (one columnar predict).
     _, holdout = dataset.split(holdout=0.2, seed=seed)
+    Xh, _ = holdout.matrices()
+    preds = model.regressor.predict(Xh) if len(holdout) else np.empty(0)
     per_class: Dict[str, List[float]] = {}
-    for sample in holdout.samples:
-        pred = model.regressor.predict(featurize(sample.op, sample.extra_bytes).reshape(1, -1))[0]
+    for sample, pred in zip(holdout.samples, preds):
         rel = abs(10**pred - sample.latency_ms) / max(1e-9, sample.latency_ms)
         per_class.setdefault(sample.op.op_class.value, []).append(rel)
     return Fig4Result(

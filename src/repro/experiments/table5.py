@@ -52,8 +52,10 @@ def run(device: str = DEFAULT_DEVICE) -> Table5Result:
         for r in TABLE5_ROWS
     ]
     capacity = analytic_capacity_model(get_device(device))
+    reps = representative_ops()
+    caps = capacity.capacity_bytes_batch(list(reps.values()))
     measured_rows = [
-        (name, op.op_class.value, capacity.capacity_bytes(op) / 1e6)
-        for name, op in representative_ops().items()
+        (name, op.op_class.value, cap / 1e6)
+        for (name, op), cap in zip(reps.items(), caps)
     ]
     return Table5Result(class_rows=class_rows, measured_rows=measured_rows)

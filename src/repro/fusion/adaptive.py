@@ -149,15 +149,29 @@ class AdaptiveFusionPlanner:
             candidates = fusion_penalties(fused, plan, lam=cfg.lam, mu=cfg.mu)[: self.top_candidates]
             if not candidates:
                 break
-            # ② split feasibility check
+            # ② split feasibility check — one lockstep capacity batch over
+            # every candidate's fused spec and its (head, tail) sub-specs
+            # instead of per-candidate sequential bisections (the per-op
+            # memo makes repeat candidates across iterations free).
             splits: Dict[str, Tuple[object, object]] = {}
+            triples: List[Tuple[str, object, object, object]] = []
             for cand in candidates:
-                node = fused.node(cand.node)
-                feasible = split_feasible(node.spec, self.capacity_model, alpha=cfg.alpha)
-                if feasible is not None:
-                    splits[cand.node] = feasible
-                else:
+                spec = fused.node(cand.node).spec
+                parts = unfuse_node(spec) if is_fused(spec) else []
+                if len(parts) < 2:
                     report.splits_rejected += 1
+                    continue
+                triples.append((cand.node, spec, parts[0], parts[1]))
+            if triples:
+                caps = self.capacity_model.capacity_bytes_batch(
+                    [op for t in triples for op in t[1:]]
+                )
+                for i, (name, _, head, tail) in enumerate(triples):
+                    c_fused, c_head, c_tail = caps[3 * i : 3 * i + 3]
+                    if c_head + c_tail >= (1.0 + cfg.alpha) * max(1, c_fused):
+                        splits[name] = (head, tail)
+                    else:
+                        report.splits_rejected += 1
             if not splits:
                 break
             # ③ iterative refinement

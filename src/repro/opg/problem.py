@@ -177,10 +177,12 @@ def build_problem(
     # tile traffic (and may themselves be streaming spilled tiles from
     # disk), so they host no embedded weight transforms regardless of what
     # the generic REUSABLE inversion would grant them.
+    chunked = capacity_model.capacity_chunks_batch(
+        [n.spec for n in nodes], config.chunk_bytes
+    )
     capacity = [
-        0 if n.kind is OpKind.FLASH_ATTENTION
-        else capacity_model.capacity_chunks(n.spec, config.chunk_bytes)
-        for n in nodes
+        0 if n.kind is OpKind.FLASH_ATTENTION else chunked[i]
+        for i, n in enumerate(nodes)
     ]
     m_peak_chunks = max(0, config.m_peak_bytes // config.chunk_bytes)
 

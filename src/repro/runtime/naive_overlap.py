@@ -87,7 +87,9 @@ class SameOpTypePlanner:
         graph.freeze()
         cfg = self.config
         nodes = graph.nodes()
-        capacity = [capacity_model.capacity_chunks(n.spec, cfg.chunk_bytes) for n in nodes]
+        capacity = capacity_model.capacity_chunks_batch(
+            [n.spec for n in nodes], cfg.chunk_bytes
+        )
         remaining = list(capacity)
         schedules: Dict[str, WeightSchedule] = {}
         for weight, node in graph.weights():

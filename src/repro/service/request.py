@@ -43,12 +43,17 @@ class CompileRequest:
     context_len: int = 0
     #: Preload-fraction override (the Figure 8 trade-off knob).
     target_preload_ratio: Optional[float] = None
+    #: Capacity-model backend: "analytic" (cost-model inverse) or "gbt"
+    #: (the paper's profiled regressor, store-cached per device).
+    capacity_backend: str = "analytic"
 
     def __post_init__(self) -> None:
         if self.time_limit_s <= 0:
             raise ValueError("time_limit_s must be positive")
         if self.context_len < 0:
             raise ValueError("context_len must be >= 0")
+        if self.capacity_backend not in ("analytic", "gbt"):
+            raise ValueError(f"unknown capacity backend {self.capacity_backend!r}")
 
     # --------------------------------------------------------- normalization
     def normalized(self) -> "CompileRequest":
@@ -76,6 +81,8 @@ class CompileRequest:
         overrides: Dict[str, Any] = {"time_limit_s": self.time_limit_s}
         if self.lam is not None:
             overrides["lam"] = self.lam
+        if self.capacity_backend != "analytic":
+            overrides["capacity_backend"] = self.capacity_backend
         return experiment_flashmem_config(**overrides)
 
     def store_key(self) -> Dict[str, Any]:
@@ -105,13 +112,15 @@ class CompileRequest:
             payload["context_len"] = self.context_len
         if self.target_preload_ratio is not None:
             payload["target_preload_ratio"] = self.target_preload_ratio
+        if self.capacity_backend != "analytic":
+            payload["capacity_backend"] = self.capacity_backend
         return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "CompileRequest":
         known = {f: payload[f] for f in (
             "model", "device", "time_limit_s", "lam", "context_len",
-            "target_preload_ratio",
+            "target_preload_ratio", "capacity_backend",
         ) if f in payload}
         if "model" not in known:
             raise ValueError("compile request payload lacks 'model'")
@@ -140,6 +149,6 @@ def execute_compile(request: CompileRequest):
     return fm.compile(
         graph,
         device,
-        capacity=common.cached_capacity(device.name),
+        capacity=common.cached_capacity(device.name, request.capacity_backend),
         target_preload_ratio=request.target_preload_ratio,
     )

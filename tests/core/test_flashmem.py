@@ -66,11 +66,16 @@ class TestCompile:
         high = fm.compile(_model(), device, target_preload_ratio=0.9)
         assert high.preload_ratio > low.preload_ratio
 
-    def test_gbt_backend_requires_profile_graphs(self, device):
+    def test_gbt_backend_defaults_to_zoo_profile_set(self, device):
+        """Without explicit profile_graphs, gbt trains over the model zoo
+        via the read-through capacity cache (one train per process)."""
         cfg = _fast()
         cfg.capacity_backend = "gbt"
-        with pytest.raises(ValueError):
-            FlashMem(cfg).capacity_model(device)
+        capacity = FlashMem(cfg).capacity_model(device)
+        assert capacity.backend == "gbt"
+        assert capacity.report is not None and capacity.report.n_samples > 0
+        # Second request is the in-process cached instance.
+        assert FlashMem(cfg).capacity_model(device) is capacity
 
     def test_gbt_backend_end_to_end(self, device):
         cfg = _fast()

@@ -89,6 +89,15 @@ class TestCompileRequest:
         request = _request()
         assert request.dedup_token() == stable_fingerprint(request.store_key())
 
+    def test_capacity_backend_axis(self):
+        gbt = _request(capacity_backend="gbt")
+        assert gbt.store_key() != _request().store_key()
+        assert CompileRequest.from_payload(gbt.to_payload()) == gbt
+        # The default backend is omitted from the wire form.
+        assert "capacity_backend" not in _request().to_payload()
+        with pytest.raises(ValueError):
+            CompileRequest(model=MODEL, capacity_backend="xgboost")
+
 
 class TestReadThroughStore:
     KEY = {"kind": "compiled", "model": MODEL, "device": "OnePlus 12", "config": "x"}

@@ -96,6 +96,35 @@ def test_decode_ab_quick():
     assert full.details["replayed_tokens"] == 0
 
 
+def test_capacity_ab_quick(tmp_path):
+    """Capacity pipeline A/B structure in-process at small scale: batched
+    lockstep queries ≡ the sequential oracle, and a warm store-cached
+    reload retrains nothing (the full bench measures the fit/query/compile
+    bars in subprocesses; see benchmarks/test_capacity_throughput.py)."""
+    from repro.capacity import cache as capacity_cache
+    from repro.core.store import ArtifactStore
+    from repro.fusion.fuser import fuse_graph
+    from repro.graph.models import load_model
+
+    previous = capacity_cache.set_capacity_store(ArtifactStore(tmp_path))
+    capacity_cache.clear_capacity_cache()
+    try:
+        kwargs = dict(models=("GPTN-S",), max_ops_per_model=8)
+        trains0 = capacity_cache.STATS["trains"]
+        model = capacity_cache.trained_capacity_model("OnePlus 12", **kwargs)
+        ops = [n.spec for n in fuse_graph(load_model("GPTN-S")).nodes()]
+        batch = model.capacity_bytes_batch(ops)
+        assert batch == [model.capacity_bytes_oracle(op) for op in ops]
+        assert model.stats["batch_predicts"] < 4 * len(ops)
+        capacity_cache.clear_capacity_cache()
+        warm = capacity_cache.trained_capacity_model("OnePlus 12", **kwargs)
+        assert capacity_cache.STATS["trains"] == trains0 + 1
+        assert warm.capacity_bytes_batch(ops) == batch
+    finally:
+        capacity_cache.set_capacity_store(previous)
+        capacity_cache.clear_capacity_cache()
+
+
 def test_fleet_ab_quick():
     """Fleet replay A/B structure on a capped trace: memoized ≡ naive,
     far fewer simulations (the full bench runs 1000 invocations in
